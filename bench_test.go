@@ -1,0 +1,366 @@
+package voltboot
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper (plus the DESIGN.md ablations). Each benchmark runs the full
+// experiment and reports its headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every evaluation result. Absolute wall-clock numbers
+// measure the simulator, not silicon; the reported metrics are the
+// paper-comparable quantities (EXPERIMENTS.md records the mapping).
+
+import "testing"
+
+const benchSeed = 0xA57A105
+
+// BenchmarkTable1ColdBootSRAM regenerates Table 1: cold boot error on the
+// BCM2711 d-cache at 0, −5 and −40 °C.
+func BenchmarkTable1ColdBootSRAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Table1(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.MeanErrorPct, "err%@"+itoa(int(row.TempC))+"C")
+		}
+		b.ReportMetric(res.FracHDToStartup, "fracHD-startup")
+	}
+}
+
+// BenchmarkFigure3ColdCacheImage regenerates Figure 3: the −40 °C
+// cold-booted way image statistics.
+func BenchmarkFigure3ColdCacheImage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure3(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FractionOnes, "fraction-ones")
+		b.ReportMetric(res.EntropyBitsPerByte, "entropy-b/B")
+	}
+}
+
+// BenchmarkTable2Platforms regenerates Table 2 (device inventory).
+func BenchmarkTable2Platforms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Table2()
+		b.ReportMetric(float64(len(res.Rows)), "platforms")
+	}
+}
+
+// BenchmarkTable3TestPads regenerates Table 3 (probe pads).
+func BenchmarkTable3TestPads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Table3()
+		b.ReportMetric(float64(len(res.Rows)), "pads")
+	}
+}
+
+// BenchmarkFigure4PowerTopology regenerates Figure 4 (PMIC wiring).
+func BenchmarkFigure4PowerTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure4(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Order)), "boards")
+	}
+}
+
+// BenchmarkFigure5AttackSteps regenerates Figure 5 (attack step trace).
+func BenchmarkFigure5AttackSteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure5(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Steps)), "steps")
+	}
+}
+
+// BenchmarkFigure7BareMetalICache regenerates Figure 7: Volt Boot on
+// bare-metal NOP victims, both Broadcom SoCs, all cores.
+func BenchmarkFigure7BareMetalICache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := Figure7(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			acc := 0.0
+			for _, a := range r.RetentionAccuracy {
+				acc += a
+			}
+			b.ReportMetric(acc/float64(len(r.RetentionAccuracy))*100, "acc%-"+r.SoCName)
+		}
+	}
+}
+
+// BenchmarkFigure8OSScenario regenerates Figure 8: the 0xAA application
+// under a noisy kernel.
+func BenchmarkFigure8OSScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure8(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PatternByteFraction*100, "0xAA-bytes%")
+		b.ReportMetric(float64(res.InstructionMatches), "icache-matches")
+	}
+}
+
+// BenchmarkTable4ArraySweep regenerates Table 4: d-cache extraction vs
+// array size (4/8/16/32 KB × 4 cores × 3 reps).
+func BenchmarkTable4ArraySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Table4(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for si, sizeKB := range res.SizesKB {
+			mean := 0.0
+			for c := 0; c < res.Cores; c++ {
+				mean += res.Cells[si][c].ExtractedPct
+			}
+			b.ReportMetric(mean/float64(res.Cores), "extr%@"+itoa(sizeKB)+"KB")
+		}
+	}
+}
+
+// BenchmarkSection72Registers regenerates the §7.2 vector-register
+// retention result.
+func BenchmarkSection72Registers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Section72(benchSeed+uint64(i), RaspberryPi4())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, n := range res.RegistersIntact {
+			total += n
+		}
+		b.ReportMetric(float64(total)/float64(len(res.RegistersIntact)), "vregs/32")
+	}
+}
+
+// BenchmarkAccessibility regenerates the §6.2 accessible-memory numbers.
+func BenchmarkAccessibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Accessibility(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.L1AvailablePct, "L1%")
+		b.ReportMetric(res.L2AvailablePct, "L2%")
+		b.ReportMetric(res.IRAMAvailablePct, "iRAM%")
+	}
+}
+
+// BenchmarkFigure9IRAMBitmap regenerates Figure 9: the i.MX53 iRAM bitmap
+// extraction.
+func BenchmarkFigure9IRAMBitmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure9(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OverallErrorPct, "iram-err%")
+	}
+}
+
+// BenchmarkFigure10ErrorLocality regenerates Figure 10: the 512-bit-block
+// Hamming profile.
+func BenchmarkFigure10ErrorLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure10(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Clusters)), "error-clusters")
+		b.ReportMetric(res.OverallErrorPct, "err%")
+	}
+}
+
+// BenchmarkCountermeasures regenerates the §8 survey.
+func BenchmarkCountermeasures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Countermeasures(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defeated := 0
+		for _, o := range res.Outcomes {
+			if !o.AttackSucceeded {
+				defeated++
+			}
+		}
+		b.ReportMetric(float64(defeated), "defenses-holding")
+		b.ReportMetric(float64(len(res.Outcomes)-defeated), "attacks-succeeding")
+	}
+}
+
+// BenchmarkProbeSweep regenerates Ablation A.
+func BenchmarkProbeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ProbeCurrentSweep(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the crossover: weakest probe that achieves 100%.
+		cross := -1.0
+		for _, row := range res.Rows {
+			if row.RetentionAccuracy == 1 {
+				cross = row.ProbeAmps
+				break
+			}
+		}
+		b.ReportMetric(cross, "min-amps-for-100%")
+	}
+}
+
+// BenchmarkRetentionSweep regenerates Ablation B.
+func BenchmarkRetentionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RetentionSweep(benchSeed + uint64(i))
+		// Headline anchors: -110°C/20ms and 25°C/20ms.
+		for ti, tc := range res.Temps {
+			if tc == -110 || tc == 25 {
+				b.ReportMetric(res.Cells[ti][1].Retention*100, "ret%@"+itoa(int(tc))+"C/20ms")
+			}
+		}
+	}
+}
+
+// BenchmarkDRAMColdBoot regenerates Ablation C.
+func BenchmarkDRAMColdBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := DRAMColdBoot(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ScheduleByteDecayPct, "decay%")
+		b.ReportMetric(boolMetric(res.KeyRecovered), "dram-key-recovered")
+		b.ReportMetric(boolMetric(res.SRAMControlRecovered), "sram-key-recovered")
+	}
+}
+
+// BenchmarkImprintBaseline regenerates Ablation D (aging vs Volt Boot).
+func BenchmarkImprintBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := ImprintBaseline(benchSeed + uint64(i))
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.RecoveryAccuracy*100, "aged-"+itoa(int(last.Years))+"y%")
+		b.ReportMetric(res.VoltBootAccuracy*100, "voltboot%")
+	}
+}
+
+// BenchmarkHistoryTheft regenerates Ablation E (TLB access-pattern theft).
+func BenchmarkHistoryTheft(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := HistoryTheft(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(boolMetric(res.Recovered()), "pin-recovered")
+		b.ReportMetric(float64(res.TLBEntriesRecovered), "tlb-entries")
+	}
+}
+
+// BenchmarkCaSELock regenerates the §7.1.2 cache-locking comparison.
+func BenchmarkCaSELock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := CaSELock(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LockedAccuracy*100, "locked%")
+		b.ReportMetric(res.UnlockedAccuracy*100, "unlocked%")
+	}
+}
+
+// BenchmarkWarmReboot regenerates Ablation F (BootJacker vs TCG reset).
+func BenchmarkWarmReboot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := WarmReboot(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(boolMetric(res.UndefendedRecovered), "warm-undefended")
+		b.ReportMetric(boolMetric(res.TCGRecoveredDRAM), "warm-vs-tcg")
+		b.ReportMetric(res.TCGVoltBootAccuracy*100, "voltboot-vs-tcg%")
+	}
+}
+
+// BenchmarkContextSwitchLeak regenerates Ablation G (multitasking
+// exposure lottery).
+func BenchmarkContextSwitchLeak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ContextSwitchLeak(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stolen := 0
+		for _, run := range res.Runs {
+			if run.KeyRecovered {
+				stolen++
+			}
+		}
+		b.ReportMetric(float64(stolen), "cuts-stealing-key")
+		b.ReportMetric(float64(len(res.Runs)-stolen), "cuts-missing-key")
+	}
+}
+
+// BenchmarkPUFClone regenerates Ablation H (PUF cloning via extraction).
+func BenchmarkPUFClone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := PUFClone(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(boolMetric(res.GenuineAccepted), "genuine-accepted")
+		b.ReportMetric(boolMetric(res.ImpostorAccepted), "impostor-accepted")
+	}
+}
+
+// BenchmarkMCUAttack regenerates the microcontroller extension.
+func BenchmarkMCUAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := MCUAttack(benchSeed + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvailablePct, "sram-available%")
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// itoa avoids strconv in metric labels.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

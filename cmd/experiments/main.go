@@ -1,0 +1,250 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure, plus the ablations, printed to stdout and optionally written to
+// an output directory (text reports and PBM bitmaps for the image
+// figures).
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -run figure     # run experiments whose name contains "figure"
+//	experiments -out results/   # also write artifacts
+//	experiments -seed 7 -skip-slow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	voltboot "repro"
+)
+
+// experiment is one runnable evaluation item.
+type experiment struct {
+	name string
+	slow bool
+	run  func(seed uint64, outDir string) (string, error)
+}
+
+func writeFile(outDir, name string, data []byte) error {
+	if outDir == "" {
+		return nil
+	}
+	return os.WriteFile(filepath.Join(outDir, name), data, 0o644)
+}
+
+func catalog() []experiment {
+	return []experiment{
+		{"table1", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.Table1(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"figure3", false, func(seed uint64, out string) (string, error) {
+			r, err := voltboot.Figure3(seed)
+			if err != nil {
+				return "", err
+			}
+			if err := writeFile(out, "figure3_way0.pbm", r.PBM); err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"table2", false, func(uint64, string) (string, error) { return voltboot.Table2().String(), nil }},
+		{"table3", false, func(uint64, string) (string, error) { return voltboot.Table3().String(), nil }},
+		{"figure4", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.Figure4(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"figure5", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.Figure5(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"figure6", false, func(uint64, string) (string, error) { return voltboot.Figure6().String(), nil }},
+		{"figure7", false, func(seed uint64, _ string) (string, error) {
+			rs, err := voltboot.Figure7(seed)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			for _, r := range rs {
+				b.WriteString(r.String())
+			}
+			return b.String(), nil
+		}},
+		{"figure8", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.Figure8(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"table4", true, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.Table4(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"section7.2", false, func(seed uint64, _ string) (string, error) {
+			var b strings.Builder
+			for _, spec := range []voltboot.DeviceSpec{voltboot.RaspberryPi4(), voltboot.RaspberryPi3()} {
+				r, err := voltboot.Section72(seed, spec)
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(r.String())
+			}
+			return b.String(), nil
+		}},
+		{"section6.2", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.Accessibility(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"figure9", false, func(seed uint64, out string) (string, error) {
+			r, err := voltboot.Figure9(seed)
+			if err != nil {
+				return "", err
+			}
+			for q, pbm := range r.PBMs {
+				if err := writeFile(out, fmt.Sprintf("figure9_quadrant_%c.pbm", 'a'+q), pbm); err != nil {
+					return "", err
+				}
+			}
+			return r.String(), nil
+		}},
+		{"figure10", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.Figure10(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"countermeasures", true, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.Countermeasures(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"ablationA-probe-sweep", true, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.ProbeCurrentSweep(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"ablationB-retention-sweep", false, func(seed uint64, _ string) (string, error) {
+			return voltboot.RetentionSweep(seed).String(), nil
+		}},
+		{"ablationC-dram-coldboot", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.DRAMColdBoot(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"ablationD-imprint", false, func(seed uint64, _ string) (string, error) {
+			return voltboot.ImprintBaseline(seed).String(), nil
+		}},
+		{"ablationE-history-theft", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.HistoryTheft(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"caselock", true, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.CaSELock(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"ablationF-warm-reboot", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.WarmReboot(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"ablationG-context-switch", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.ContextSwitchLeak(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"ablationH-puf-clone", true, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.PUFClone(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+		{"mcu-extension", false, func(seed uint64, _ string) (string, error) {
+			r, err := voltboot.MCUAttack(seed)
+			if err != nil {
+				return "", err
+			}
+			return r.String(), nil
+		}},
+	}
+}
+
+func main() {
+	var (
+		runFilter = flag.String("run", "", "only run experiments whose name contains this substring")
+		outDir    = flag.String("out", "", "directory for artifacts (text + PBM)")
+		seed      = flag.Uint64("seed", 0x5EED, "experiment seed")
+		skipSlow  = flag.Bool("skip-slow", false, "skip the multi-minute experiments")
+	)
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	for _, e := range catalog() {
+		if *runFilter != "" && !strings.Contains(e.name, *runFilter) {
+			continue
+		}
+		if *skipSlow && e.slow {
+			fmt.Printf("=== %s: skipped (slow)\n\n", e.name)
+			continue
+		}
+		start := time.Now()
+		out, err := e.run(*seed, *outDir)
+		if err != nil {
+			fmt.Printf("=== %s: FAILED: %v\n\n", e.name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("=== %s (%.1fs)\n%s\n", e.name, time.Since(start).Seconds(), out)
+		if err := writeFile(*outDir, e.name+".txt", []byte(out)); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

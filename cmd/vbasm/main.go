@@ -1,0 +1,61 @@
+// Command vbasm is the VBA64 assembler/disassembler used to build and
+// inspect victim and extraction payloads.
+//
+// Usage:
+//
+//	vbasm -base 0x80000 prog.s          # assemble, print hex words
+//	vbasm -base 0x80000 -list prog.s    # assemble, print address-annotated listing
+//	vbasm -d 0xa4000000 0xa8000000      # disassemble machine words
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		base    = flag.Uint64("base", 0x80000, "load address")
+		listing = flag.Bool("list", false, "print an address-annotated listing")
+		disasm  = flag.Bool("d", false, "disassemble machine words given as arguments")
+	)
+	flag.Parse()
+
+	if *disasm {
+		for _, arg := range flag.Args() {
+			v, err := strconv.ParseUint(arg, 0, 32)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vbasm: bad word %q: %v\n", arg, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%08x  %s\n", uint32(v), isa.DisassembleWord(uint32(v)))
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vbasm [-base addr] [-list] prog.s | vbasm -d word...")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbasm:", err)
+		os.Exit(1)
+	}
+	words, err := isa.Assemble(*base, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbasm:", err)
+		os.Exit(1)
+	}
+	if *listing {
+		fmt.Print(isa.DumpProgram(*base, words))
+		return
+	}
+	for _, w := range words {
+		fmt.Printf("%08x\n", w)
+	}
+}

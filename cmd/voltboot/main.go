@@ -1,0 +1,192 @@
+// Command voltboot runs a single attack against a simulated evaluation
+// platform and prints the extraction report.
+//
+// Usage:
+//
+//	voltboot -device pi4 -attack caches [-probe-amps 3.5] [-off-ms 2000] [-seed 42]
+//	voltboot -device pi4 -attack registers
+//	voltboot -device imx53 -attack iram
+//	voltboot -device pi4 -attack coldboot -temp -40 -off-ms 5
+//
+// The victim is staged automatically per attack kind: a cache-filling NOP
+// sled for cache attacks, 0xAA/0xFF vector patterns for register attacks,
+// and a test bitmap for iRAM attacks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/vimg"
+
+	voltboot "repro"
+)
+
+func main() {
+	var (
+		device    = flag.String("device", "pi4", "target: pi3, pi4, imx53")
+		attack    = flag.String("attack", "caches", "attack: caches, registers, iram, coldboot")
+		probeAmps = flag.Float64("probe-amps", 3.5, "bench supply current limit (A)")
+		offMS     = flag.Int64("off-ms", 2000, "main power off time (ms)")
+		tempC     = flag.Float64("temp", -40, "chamber temperature for coldboot (°C)")
+		seed      = flag.Uint64("seed", 42, "silicon/noise seed")
+	)
+	flag.Parse()
+
+	if err := run(*device, *attack, *probeAmps, *offMS, *tempC, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "voltboot:", err)
+		os.Exit(1)
+	}
+}
+
+func deviceSpec(name string) (voltboot.DeviceSpec, error) {
+	switch name {
+	case "pi3":
+		return voltboot.RaspberryPi3(), nil
+	case "pi4":
+		return voltboot.RaspberryPi4(), nil
+	case "imx53":
+		return voltboot.IMX53QSB(), nil
+	default:
+		return voltboot.DeviceSpec{}, fmt.Errorf("unknown device %q (pi3|pi4|imx53)", name)
+	}
+}
+
+func run(device, attack string, probeAmps float64, offMS int64, tempC float64, seed uint64) error {
+	spec, err := deviceSpec(device)
+	if err != nil {
+		return err
+	}
+	sys, err := voltboot.NewSystem(spec, voltboot.Options{}, seed)
+	if err != nil {
+		return err
+	}
+	cfg := voltboot.DefaultAttackConfig()
+	cfg.Probe.MaxAmps = probeAmps
+	cfg.OffTime = voltboot.Time(offMS) * voltboot.Millisecond
+
+	fmt.Printf("target: %s (%s), pad %s, probe %.1fA, power off %s\n\n",
+		spec.Board, spec.SoCName, spec.TestPad, probeAmps, cfg.OffTime)
+
+	switch attack {
+	case "caches", "coldboot":
+		victim, _, err := voltboot.VictimNOPFill(spec)
+		if err != nil {
+			return err
+		}
+		if err := sys.RunVictim(victim); err != nil {
+			return err
+		}
+		// Physical ground truth for scoring.
+		truth := make([][][]byte, spec.Cores)
+		for c, core := range sys.SoC().Cores {
+			for w := 0; w < spec.L1I.Ways; w++ {
+				truth[c] = append(truth[c], core.L1I.DumpWay(w))
+			}
+		}
+		var ext *voltboot.CacheExtraction
+		if attack == "coldboot" {
+			ext, err = sys.ColdBootCaches(tempC, cfg.OffTime)
+		} else {
+			ext, err = sys.VoltBootCaches(cfg)
+		}
+		if err != nil {
+			return err
+		}
+		for _, s := range ext.Trace {
+			fmt.Println(" ", s)
+		}
+		fmt.Println()
+		for c, dump := range ext.Dumps {
+			var accs float64
+			for w, way := range dump.L1I {
+				accs += voltboot.RetentionAccuracy(truth[c][w], way)
+			}
+			fmt.Printf("core %d: i-cache retention accuracy %.2f%%\n",
+				c, accs/float64(len(dump.L1I))*100)
+		}
+		fmt.Println("\ncore 0 i-cache way 0 (density):")
+		fmt.Print(vimg.ASCIIDensity(ext.Dumps[0].L1I[0], 64, 8))
+		return nil
+
+	case "registers":
+		victim, err := voltboot.VictimVectorFill()
+		if err != nil {
+			return err
+		}
+		if err := sys.RunVictim(victim); err != nil {
+			return err
+		}
+		ext, err := sys.VoltBootRegisters(cfg)
+		if err != nil {
+			return err
+		}
+		for _, s := range ext.Trace {
+			fmt.Println(" ", s)
+		}
+		fmt.Println()
+		for c, regs := range ext.PerCore {
+			intact := 0
+			for v, reg := range regs {
+				want := byte(0xAA)
+				if v%2 == 1 {
+					want = 0xFF
+				}
+				ok := true
+				for _, by := range reg {
+					if by != want {
+						ok = false
+					}
+				}
+				if ok {
+					intact++
+				}
+			}
+			fmt.Printf("core %d: %d/32 vector registers recovered exactly\n", c, intact)
+		}
+		fmt.Printf("\ncore 0 V0 = %x\ncore 0 V1 = %x\n", ext.PerCore[0][0], ext.PerCore[0][1])
+		return nil
+
+	case "iram":
+		if err := sys.SoC().Boot(nil); err != nil {
+			return err
+		}
+		image := vimg.TestPattern512()
+		full := make([]byte, 0, spec.IRAMBytes)
+		for len(full) < spec.IRAMBytes {
+			full = append(full, image...)
+		}
+		if err := sys.SoC().JTAGWriteIRAM(0, full[:spec.IRAMBytes]); err != nil {
+			return err
+		}
+		ext, err := sys.VoltBootIRAM(cfg)
+		if err != nil {
+			return err
+		}
+		for _, s := range ext.Trace {
+			fmt.Println(" ", s)
+		}
+		errPct := voltboot.FractionalHD(full[:spec.IRAMBytes], ext.Image) * 100
+		fmt.Printf("\niRAM extraction error: %.2f%% (boot-ROM scratchpad damage only)\n", errPct)
+		fmt.Println("first 32KB of recovered image (density):")
+		fmt.Print(vimg.ASCIIDensity(ext.Image[:32*1024], 64, 8))
+		return nil
+
+	case "tlb":
+		res, err := voltboot.HistoryTheft(seed)
+		if err != nil {
+			return err
+		}
+		for _, s := range res.Trace {
+			fmt.Println(" ", s)
+		}
+		fmt.Printf("\nvictim PIN (secret page accesses): %v\n", res.PIN)
+		fmt.Printf("recovered from the TLB dump:        %v (recovered=%v)\n",
+			res.RecoveredPIN, res.Recovered())
+		return nil
+
+	default:
+		return fmt.Errorf("unknown attack %q (caches|registers|iram|coldboot|tlb)", attack)
+	}
+}

@@ -1,0 +1,45 @@
+// Historytheft: stealing microarchitectural *history* with Volt Boot.
+//
+// The paper notes the Cortex-A72 exposes 15 different internal RAMs —
+// caches, TLBs, BTBs — through the RAMINDEX interface (§2.1). Data and
+// instruction caches hold a victim's data; the TLB and BTB hold its
+// *behaviour*: which pages it translated, where its branches went. Those
+// RAMs sit in the same core power domain, so Volt Boot freezes them too.
+//
+// This example demonstrates the consequence: a victim checks a 4-digit
+// PIN with a classic secret-dependent table lookup (one page touched per
+// digit). The attacker never sees the PIN in any data memory — but after
+// a Volt Boot power cycle, a RAMINDEX sweep of the TLB returns the page
+// numbers the victim translated, and the PIN falls out.
+//
+// Run with: go run ./examples/historytheft
+package main
+
+import (
+	"fmt"
+	"log"
+
+	voltboot "repro"
+)
+
+func main() {
+	res, err := voltboot.HistoryTheft(0xC0DE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("victim: PIN check via secret-indexed table (one page touch per digit)")
+	fmt.Printf("secret PIN: %v\n\n", res.PIN)
+
+	fmt.Println("attack trace:")
+	for _, step := range res.Trace {
+		fmt.Println(" ", step)
+	}
+
+	fmt.Printf("\nvalid TLB entries recovered from the dump: %d\n", res.TLBEntriesRecovered)
+	fmt.Printf("PIN reconstructed from retained translations: %v\n", res.RecoveredPIN)
+	if !res.Recovered() {
+		log.Fatal("recovery failed")
+	}
+	fmt.Println("\nthe secret never touched DRAM or even the d-cache as data —")
+	fmt.Println("the microarchitecture's own bookkeeping betrayed it")
+}

@@ -1,0 +1,93 @@
+// Irambitmap: the §7.3 i.MX53 on-chip RAM attack.
+//
+// The i.MX53 is a multimedia SoC whose 128 KB iRAM (OCRAM) sits in the
+// VDDAL1 memory power domain — a different domain from the CPU cores. The
+// experiment stages four copies of a 512×512 1-bit bitmap in the iRAM,
+// holds VDDAL1 at its nominal 1.3 V through pad SH13, power cycles the
+// board, lets the internal boot ROM run (it clobbers its scratchpad range
+// inside the iRAM), and dumps the iRAM over JTAG. The recovered image is
+// exact except where the boot ROM wrote — reproducing Figures 9 and 10.
+//
+// Run with: go run ./examples/irambitmap
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/vimg"
+
+	voltboot "repro"
+)
+
+func main() {
+	sys, err := voltboot.NewSystem(voltboot.IMX53QSB(), voltboot.Options{}, 53)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sys.Spec()
+	fmt.Printf("device: %s — %d KB iRAM at %#x in domain %s (pad %s, %.1fV)\n\n",
+		spec.Board, spec.IRAMBytes/1024, spec.IRAMBase, spec.MemDomainName,
+		spec.TestPad, spec.MemVolts)
+
+	// Boot from internal ROM, then stage the bitmap over JTAG.
+	if err := sys.SoC().Boot(nil); err != nil {
+		log.Fatal(err)
+	}
+	quadrant := vimg.TestPattern512() // 32 KB, 512×512 1-bit
+	original := make([]byte, 0, spec.IRAMBytes)
+	for q := 0; q < 4; q++ {
+		original = append(original, quadrant...)
+	}
+	if err := sys.SoC().JTAGWriteIRAM(0, original); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("staged 4× 512×512 bitmap (128 KB) into iRAM via JTAG")
+
+	// The attack: note the probe needs almost no current — VDDAL1 does
+	// not feed the CPU cores, so there is no disconnect surge.
+	cfg := voltboot.DefaultAttackConfig()
+	cfg.Probe.MaxAmps = 0.1
+	ext, err := sys.VoltBootIRAM(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nattack trace:")
+	for _, step := range ext.Trace {
+		fmt.Println(" ", step)
+	}
+
+	// Score per quadrant (Figure 9) and localize errors (Figure 10).
+	fmt.Println()
+	qsize := spec.IRAMBytes / 4
+	for q := 0; q < 4; q++ {
+		lo, hi := q*qsize, (q+1)*qsize
+		acc := voltboot.RetentionAccuracy(original[lo:hi], ext.Image[lo:hi])
+		fmt.Printf("quadrant %c (%#x-%#x): accuracy %.3f%%\n",
+			'a'+q, spec.IRAMBase+uint64(lo), spec.IRAMBase+uint64(hi), acc*100)
+	}
+	overall := voltboot.FractionalHD(original, ext.Image) * 100
+	fmt.Printf("overall extraction error: %.2f%% (paper: 2.7%%)\n\n", overall)
+
+	profile := analysis.BlockHDProfile(original, ext.Image, 512)
+	fmt.Println("Hamming distance per 512-bit block (Figure 10):")
+	fmt.Println(" ", vimg.SparklineProfile(profile, 96))
+	for _, c := range analysis.FindErrorClusters(profile, 8) {
+		lo := spec.IRAMBase + uint64(c.FirstBlock*64)
+		hi := spec.IRAMBase + uint64((c.LastBlock+1)*64)
+		fmt.Printf("  damaged range %#x-%#x (%d error bits) — boot ROM scratchpad\n",
+			lo, hi, c.TotalBits)
+	}
+
+	// Write the recovered quadrants as PBM images.
+	for q := 0; q < 4; q++ {
+		name := fmt.Sprintf("iram_quadrant_%c.pbm", 'a'+q)
+		bm := vimg.FromBits(ext.Image[q*qsize:(q+1)*qsize], 512)
+		if err := os.WriteFile(name, bm.PBM(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", name)
+	}
+}

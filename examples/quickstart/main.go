@@ -1,0 +1,66 @@
+// Quickstart: the minimal Volt Boot workflow against a Raspberry Pi 4.
+//
+// A victim fills its L1 i-caches with known machine code (a NOP sled), an
+// attacker probes test pad TP15 with a bench supply, power cycles the
+// board, and extracts the caches with a RAMINDEX payload — recovering the
+// victim's code with 100% accuracy even though the device was fully
+// powered off for two seconds.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	voltboot "repro"
+)
+
+func main() {
+	// Build the platform: a Raspberry Pi 4 with no countermeasures
+	// (the measured reality for shipped devices, §8).
+	sys, err := voltboot.NewSystem(voltboot.RaspberryPi4(), voltboot.Options{}, 2022)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sys.Spec()
+	fmt.Printf("device: %s (%s, %s)\n", spec.Board, spec.SoCName, spec.CPUDesc)
+	fmt.Printf("target: L1 caches in power domain %s, exposed at pad %s (%.1fV)\n\n",
+		spec.CoreDomainName, spec.TestPad, spec.CoreVolts)
+
+	// The victim: bare-metal software that fills the i-cache.
+	victim, groundTruth, err := voltboot.VictimNOPFill(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.RunVictim(victim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim ran: %d instructions of known machine code now in the i-caches\n\n",
+		len(groundTruth))
+
+	// Capture the physical truth for scoring (the simulator's omniscient
+	// view; a real attacker doesn't need it — 100%% accuracy means the
+	// dump IS the truth).
+	truth := sys.SoC().Cores[0].L1I.DumpWay(0)
+
+	// The attack: §6.1's four steps with the paper's apparatus.
+	ext, err := sys.VoltBootCaches(voltboot.DefaultAttackConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, step := range ext.Trace {
+		fmt.Println(" ", step)
+	}
+
+	acc := voltboot.RetentionAccuracy(truth, ext.Dumps[0].L1I[0])
+	fmt.Printf("\nextraction accuracy vs captured cache state: %.2f%%\n", acc*100)
+
+	// Confirm the victim's code is literally in the dump.
+	nop := []byte{
+		byte(groundTruth[0]), byte(groundTruth[0] >> 8),
+		byte(groundTruth[0] >> 16), byte(groundTruth[0] >> 24),
+	}
+	hits := voltboot.FindPattern(ext.Dumps[0].L1I[0], nop)
+	fmt.Printf("victim instruction found at %d locations in the stolen way image\n", len(hits))
+}

@@ -1,0 +1,97 @@
+// Sentry: defeating iRAM-resident cryptography (the Sentry/Copker
+// deployment model) on the i.MX53.
+//
+// Sentry and Copker (§2.2) keep cryptographic state in on-chip iRAM
+// instead of DRAM, reasoning that on-chip memory is beyond a physical
+// attacker's reach. On the i.MX53 that iRAM sits in the VDDAL1 memory
+// power domain — separate from the CPU — and VDDAL1 is exposed at board
+// pad SH13. The attack:
+//
+//  1. the victim computes with its AES schedule resident in iRAM,
+//  2. the attacker holds SH13 at 1.3 V (a ~100 mA supply suffices: no
+//     CPU cores hang off this domain, so there is no disconnect surge),
+//  3. power cycles the board; the internal ROM boots and clobbers only
+//     its scratchpad ranges,
+//  4. dumps the iRAM over JTAG and lifts the schedule — placed, like any
+//     sane allocator would, in the middle of the iRAM, far from the
+//     scratchpad — byte-for-byte intact.
+//
+// Run with: go run ./examples/sentry
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	voltboot "repro"
+)
+
+// scheduleOffset places the victim's crypto state mid-iRAM, away from
+// the boot ROM scratchpad at the start and the boot stack at the end.
+const scheduleOffset = 0x8000
+
+func main() {
+	sys, err := voltboot.NewSystem(voltboot.IMX53QSB(), voltboot.Options{}, 0x5E)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := sys.Spec()
+	fmt.Printf("device: %s — iRAM in %s (no CPU cores on this domain)\n\n",
+		spec.Board, spec.MemDomainName)
+
+	// Victim setup: boot, then run "Sentry": the AES schedule lives in
+	// iRAM, used to encrypt a message. (We stage via JTAG, standing in
+	// for the victim's own on-chip computation.)
+	if err := sys.SoC().Boot(nil); err != nil {
+		log.Fatal(err)
+	}
+	masterKey := []byte("sentry-iram-key!")
+	schedule, err := voltboot.ExpandAES128Key(masterKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg := []byte("location report: unit 7 at grid 51.2N 4.4E, holding")
+	ct := append([]byte(nil), msg...)
+	if err := voltboot.AESCTRXor(schedule, 0xBEEF, ct); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SoC().JTAGWriteIRAM(scheduleOffset, schedule); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim: AES schedule at iRAM+%#x, ciphertext captured off the air\n", scheduleOffset)
+	fmt.Printf("ciphertext: %x...\n\n", ct[:24])
+
+	// The attack: tiny probe, full power cycle, JTAG dump.
+	cfg := voltboot.DefaultAttackConfig()
+	cfg.Probe.MaxAmps = 0.1
+	ext, err := sys.VoltBootIRAM(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, step := range ext.Trace {
+		fmt.Println(" ", step)
+	}
+
+	stolen := ext.Image[scheduleOffset : scheduleOffset+len(schedule)]
+	if !bytes.Equal(stolen, schedule) {
+		log.Fatal("schedule corrupted — unexpected, it sits outside the scratchpad")
+	}
+	fmt.Println("\nschedule recovered from iRAM dump: byte-exact")
+
+	// Decrypt with the stolen schedule.
+	pt := append([]byte(nil), ct...)
+	if err := voltboot.AESCTRXor(stolen, 0xBEEF, pt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decrypted: %q\n", pt)
+
+	// And invert round 0 of the schedule (== the master key itself).
+	recovered, err := voltboot.InvertAES128Schedule(voltboot.AESRoundKey(stolen, 0), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("master key: %q\n", recovered)
+	fmt.Println("\nnote the footnote-3 defense: secrets hidden INSIDE the ~5% scratchpad")
+	fmt.Println("region would be destroyed by the boot ROM before the JTAG window opens")
+}

@@ -1,0 +1,168 @@
+package voltboot
+
+// Integration tests exercising multi-device campaigns and cross-cutting
+// behaviours through the public API only.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCampaignAcrossAllDevices runs the headline attack on every modelled
+// platform in one go — the Table 2 "generality" claim.
+func TestCampaignAcrossAllDevices(t *testing.T) {
+	for _, spec := range Devices() {
+		spec := spec
+		t.Run(spec.SoCName, func(t *testing.T) {
+			sys, err := NewSystem(spec, Options{}, 0xCA4A)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.IRAMBytes > 0 {
+				// iRAM platform: JTAG path.
+				if err := sys.SoC().Boot(nil); err != nil {
+					t.Fatal(err)
+				}
+				secret := bytes.Repeat([]byte{0x42}, 4096)
+				if err := sys.SoC().JTAGWriteIRAM(0x8000, secret); err != nil {
+					t.Fatal(err)
+				}
+				ext, err := sys.VoltBootIRAM(DefaultAttackConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ext.Image[0x8000:0x9000], secret) {
+					t.Fatal("iRAM secret not recovered")
+				}
+				return
+			}
+			// Cache platform: RAMINDEX path.
+			victim, err := VictimPatternFill(0x100000, 1024, 0x42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.RunVictim(victim); err != nil {
+				t.Fatal(err)
+			}
+			truth := sys.SoC().Cores[0].L1D.DumpWay(0)
+			ext, err := sys.VoltBootCaches(DefaultAttackConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc := RetentionAccuracy(truth, ext.Dumps[0].L1D[0]); acc != 1.0 {
+				t.Fatalf("%s extraction accuracy = %v", spec.Board, acc)
+			}
+		})
+	}
+}
+
+// TestFootnote3Defense verifies the paper's footnote 3: secrets hidden
+// inside the boot-ROM scratchpad region are destroyed before the attacker
+// can look.
+func TestFootnote3Defense(t *testing.T) {
+	spec := IMX53QSB()
+	sys, err := NewSystem(spec, Options{}, 0xF00)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SoC().Boot(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Hide the secret INSIDE the scratchpad range (0x83C-0x18CC).
+	secret := bytes.Repeat([]byte{0x5E}, 256)
+	const hideAt = 0x1000
+	if err := sys.SoC().JTAGWriteIRAM(hideAt, secret); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := sys.VoltBootIRAM(DefaultAttackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ext.Image[hideAt:hideAt+256], secret) {
+		t.Fatal("secret inside the scratchpad survived — footnote 3 defense broken")
+	}
+}
+
+// TestRepeatedAttacksOnSameDevice runs Volt Boot twice in a row: the
+// second attack must extract the FIRST extraction payload's own residue
+// era, not fail — the device remains attackable indefinitely.
+func TestRepeatedAttacksOnSameDevice(t *testing.T) {
+	sys, err := NewSystem(RaspberryPi4(), Options{}, 0x2E9EA7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := VictimPatternFill(0x100000, 1024, 0x77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunVictim(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.VoltBootCaches(DefaultAttackConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// Second pass: stage fresh victim state and attack again.
+	if err := sys.RunVictim(victim); err != nil {
+		t.Fatal(err)
+	}
+	truth := sys.SoC().Cores[0].L1D.DumpWay(0)
+	ext2, err := sys.VoltBootCaches(DefaultAttackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := RetentionAccuracy(truth, ext2.Dumps[0].L1D[0]); acc != 1.0 {
+		t.Fatalf("second attack accuracy = %v", acc)
+	}
+}
+
+// TestAllDefensesSimultaneously: a fully hardened device resists every
+// attack vector in this repository.
+func TestAllDefensesSimultaneously(t *testing.T) {
+	opts := Options{
+		MBISTReset:        true,
+		PowerToggleReset:  true,
+		TrustZone:         true,
+		AuthenticatedBoot: true,
+	}
+	sys, err := NewSystem(RaspberryPi4(), opts, 0xDEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := VictimPatternFill(0x100000, 1024, 0x13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.Signature = sys.SoC().SignImage(victim)
+	if err := sys.RunVictim(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.VoltBootCaches(DefaultAttackConfig()); err == nil {
+		t.Fatal("hardened device booted the unsigned extraction payload")
+	}
+	if _, err := sys.VoltBootRegisters(DefaultAttackConfig()); err == nil {
+		t.Fatal("hardened device booted the unsigned register payload")
+	}
+}
+
+// TestSeedIsolation: different seeds produce different silicon (the
+// fingerprints differ) but identical *architecture* (the attack works on
+// both).
+func TestSeedIsolation(t *testing.T) {
+	images := make([][]byte, 2)
+	for i, seed := range []uint64{101, 202} {
+		sys, err := NewSystem(RaspberryPi4(), Options{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No victim: extract the raw power-up fingerprint.
+		ext, err := sys.VoltBootCaches(DefaultAttackConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = ext.Dumps[0].L1D[0]
+	}
+	hd := FractionalHD(images[0], images[1])
+	if hd < 0.4 || hd > 0.6 {
+		t.Fatalf("different chips' fingerprints HD = %v, want ≈0.5", hd)
+	}
+}

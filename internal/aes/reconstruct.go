@@ -1,0 +1,268 @@
+package aes
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements recovery of an AES-128 master key from a *decayed*
+// key-schedule image, in the style of the cold boot attack literature:
+// DRAM decay is unidirectional (toward a known per-region ground state),
+// so every bit observed in the non-ground state is known-correct, and the
+// redundancy of the key schedule pins down the rest.
+//
+// The reproduction's Ablation C uses this to demonstrate the contrast the
+// Volt Boot paper draws in §5.1/§9.2: DRAM's correctable decay admits
+// key reconstruction, while bistable SRAM gives the attacker nothing to
+// correct against — and Volt Boot sidesteps the problem entirely by
+// retaining data without error.
+//
+// The search is a depth-first walk over the 16 key bytes in an order that
+// lets each choice be checked against one or two derived round-1 bytes
+// immediately, with a full schedule verification at the leaves. It
+// comfortably handles the decay fractions the Ablation C experiment uses
+// (≈10–15 % of set bits lost); the original publication's global solver
+// tolerates more decay, which we trade away for a compact implementation.
+
+// DecayedByteCompatible reports whether trueByte could have decayed into
+// obsByte given the ground value: every bit that moved must have moved
+// toward ground.
+func DecayedByteCompatible(trueByte, obsByte, ground byte) bool {
+	diff := trueByte ^ obsByte
+	// Bits that changed must now equal the ground bit.
+	return diff&(obsByte^ground) == 0
+}
+
+// candidatesFor enumerates all bytes that could have decayed into obs,
+// ordered by the number of decayed bits each implies (fewest first). For
+// ground 0x00 these are the supersets of obs's bits; for ground 0xFF the
+// subsets. Likelihood ordering matters: at realistic decay rates the true
+// byte implies few flips, so trying low-flip candidates first finds the
+// key orders of magnitude sooner.
+func candidatesFor(obs, ground byte) []byte {
+	free := ^byte(0)
+	if ground == 0 {
+		free = ^obs // zero bits may originally have been ones
+	} else {
+		free = obs // one bits may originally have been zeros
+	}
+	var out []byte
+	sub := free
+	for {
+		out = append(out, obs^sub)
+		if sub == 0 {
+			break
+		}
+		sub = (sub - 1) & free
+	}
+	// Stable sort by popcount of the flip mask, fewest flips first.
+	buckets := make([][]byte, 9)
+	for _, c := range out {
+		n := popcount(c ^ obs)
+		buckets[n] = append(buckets[n], c)
+	}
+	out = out[:0]
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func popcount(b byte) int {
+	n := 0
+	for b != 0 {
+		n += int(b & 1)
+		b >>= 1
+	}
+	return n
+}
+
+// ReconstructConfig tunes the search.
+type ReconstructConfig struct {
+	// Ground is the decay target byte (0x00 or 0xFF) for the region
+	// holding the schedule.
+	Ground byte
+	// MaxNodes bounds the number of DFS nodes explored before giving up.
+	MaxNodes int
+}
+
+// DefaultReconstructConfig returns limits suitable for ≤15 % decay.
+func DefaultReconstructConfig(ground byte) ReconstructConfig {
+	return ReconstructConfig{Ground: ground, MaxNodes: 50_000_000}
+}
+
+// ErrSearchExhausted reports that no key consistent with the image exists
+// (wrong region, bidirectional corruption, or too much decay).
+var ErrSearchExhausted = errors.New("aes: no key consistent with decayed schedule")
+
+// ErrBudgetExceeded reports that the node budget ran out first.
+var ErrBudgetExceeded = errors.New("aes: reconstruction node budget exceeded")
+
+// ReconstructKey128 recovers the AES-128 master key from a 176-byte
+// decayed schedule image. It returns the unique key whose full expansion
+// is decay-compatible with the image.
+func ReconstructKey128(observed []byte, cfg ReconstructConfig) ([]byte, error) {
+	if len(observed) != ScheduleSize128 {
+		return nil, fmt.Errorf("aes: schedule image must be %d bytes, got %d", ScheduleSize128, len(observed))
+	}
+
+	// DFS step table. Each step fixes one key byte (index into key[0:16])
+	// and lists the round-1 schedule bytes that become checkable.
+	//
+	// Key layout: w0 = key[0:4], w1 = key[4:8], w2 = key[8:12],
+	// w3 = key[12:16]. Round-1 schedule bytes (observed[16:32]):
+	//   w4[k] = w0[k] ^ sbox(w3[(k+1)%4]) ^ rcon[1]·(k==0)
+	//   w5[k] = w4[k] ^ w1[k]
+	//   w6[k] = w5[k] ^ w2[k]
+	//   w7[k] = w6[k] ^ w3[k]
+	type step struct {
+		keyByte int // index into key
+		// checks lists columns k for which choosing this byte completes
+		// w4[k] / w5[k] / w6[k]+w7[k].
+		checkW4  int // column or -1
+		checkW5  int
+		checkW67 int
+	}
+	steps := []step{
+		{keyByte: 13, checkW4: -1, checkW5: -1, checkW67: -1}, // w3[1]
+		{keyByte: 0, checkW4: 0, checkW5: -1, checkW67: -1},   // w0[0]
+		{keyByte: 4, checkW4: -1, checkW5: 0, checkW67: -1},   // w1[0]
+		{keyByte: 12, checkW4: -1, checkW5: -1, checkW67: -1}, // w3[0]
+		{keyByte: 8, checkW4: -1, checkW5: -1, checkW67: 0},   // w2[0]
+		{keyByte: 14, checkW4: -1, checkW5: -1, checkW67: -1}, // w3[2]
+		{keyByte: 1, checkW4: 1, checkW5: -1, checkW67: -1},   // w0[1]
+		{keyByte: 5, checkW4: -1, checkW5: 1, checkW67: -1},   // w1[1]
+		{keyByte: 9, checkW4: -1, checkW5: -1, checkW67: 1},   // w2[1]
+		{keyByte: 15, checkW4: -1, checkW5: -1, checkW67: -1}, // w3[3]
+		{keyByte: 2, checkW4: 2, checkW5: -1, checkW67: -1},   // w0[2]
+		{keyByte: 6, checkW4: -1, checkW5: 2, checkW67: -1},   // w1[2]
+		{keyByte: 10, checkW4: -1, checkW5: -1, checkW67: 2},  // w2[2]
+		{keyByte: 3, checkW4: 3, checkW5: -1, checkW67: -1},   // w0[3]
+		{keyByte: 7, checkW4: -1, checkW5: 3, checkW67: -1},   // w1[3]
+		{keyByte: 11, checkW4: -1, checkW5: -1, checkW67: 3},  // w2[3]
+	}
+
+	// Precompute per-step candidate lists (likelihood-ordered).
+	cands := make([][]byte, len(steps))
+	for i, st := range steps {
+		cands[i] = candidatesFor(observed[st.keyByte], cfg.Ground)
+	}
+
+	var key [16]byte
+	var w4, w5 [4]byte
+	nodes := 0
+	budget := cfg.MaxNodes
+	if budget <= 0 {
+		budget = 50_000_000
+	}
+
+	compat := func(t byte, schedIdx int) bool {
+		return DecayedByteCompatible(t, observed[schedIdx], cfg.Ground)
+	}
+	flipsOf := func(t byte, schedIdx int) int {
+		return popcount(t ^ observed[schedIdx])
+	}
+
+	var result []byte
+	overBudget := false
+
+	// Iterative deepening over the total number of decayed bits the
+	// assignment implies across the key and round-1 bytes. The true key
+	// implies ~(decay rate × set bits) flips, so shallow passes find it
+	// quickly while bounding the subtree blow-up that weak superset
+	// checks would otherwise allow.
+	var dfs func(depth, flipBudget int) bool
+	dfs = func(depth, flipBudget int) bool {
+		if flipBudget < 0 {
+			return false
+		}
+		if nodes >= budget {
+			overBudget = true
+			return false
+		}
+		if depth == len(steps) {
+			// Full candidate key: verify the entire schedule.
+			sched, err := ExpandKey128(key[:])
+			if err != nil {
+				return false
+			}
+			for i := 0; i < ScheduleSize128; i++ {
+				if !compat(sched[i], i) {
+					return false
+				}
+			}
+			result = append([]byte(nil), key[:]...)
+			return true
+		}
+		st := steps[depth]
+		for _, cand := range cands[depth] {
+			nodes++
+			if nodes >= budget {
+				overBudget = true
+				return false
+			}
+			spent := flipsOf(cand, st.keyByte)
+			if spent > flipBudget {
+				break // candidates are flip-ordered: the rest cost more
+			}
+			key[st.keyByte] = cand
+			if st.checkW4 >= 0 {
+				k := st.checkW4
+				rc := byte(0)
+				if k == 0 {
+					rc = rcon[1]
+				}
+				v := key[k] ^ sbox[key[12+(k+1)%4]] ^ rc
+				if !compat(v, 16+k) {
+					continue
+				}
+				spent += flipsOf(v, 16+k)
+				w4[k] = v
+			}
+			if st.checkW5 >= 0 {
+				k := st.checkW5
+				v := w4[k] ^ key[4+k]
+				if !compat(v, 20+k) {
+					continue
+				}
+				spent += flipsOf(v, 20+k)
+				w5[k] = v
+			}
+			if st.checkW67 >= 0 {
+				k := st.checkW67
+				v6 := w5[k] ^ key[8+k]
+				if !compat(v6, 24+k) {
+					continue
+				}
+				v7 := v6 ^ key[12+k]
+				if !compat(v7, 28+k) {
+					continue
+				}
+				spent += flipsOf(v6, 24+k) + flipsOf(v7, 28+k)
+			}
+			if spent > flipBudget {
+				continue
+			}
+			if dfs(depth+1, flipBudget-spent) {
+				return true
+			}
+			if overBudget {
+				return false
+			}
+		}
+		return false
+	}
+
+	// The checked region covers 32 schedule bytes = 256 bits; a flip
+	// budget of 128 admits 50% decay of set bits, far beyond what the
+	// search can finish anyway, so the ladder top is effectively "all".
+	for _, d := range []int{2, 6, 12, 24, 48, 96, 128} {
+		if dfs(0, d) {
+			return result, nil
+		}
+		if overBudget {
+			return nil, ErrBudgetExceeded
+		}
+	}
+	return nil, ErrSearchExhausted
+}

@@ -1,0 +1,658 @@
+// Package cache models set-associative caches whose tag and data storage
+// are real sram.Array instances, so cache contents obey the same
+// power/retention physics as every other on-chip memory.
+//
+// The model preserves the architectural properties the Volt Boot paper
+// leans on (§5.2.4, §6.1, §7.1):
+//
+//   - Clean/invalidate operations touch only the state bits in the tag
+//     RAM; the data RAM is never erased. The only architectural way to
+//     overwrite L1 data RAM is DC ZVA (or ordinary stores).
+//   - The RAMINDEX debug interface reads tag and data RAMs directly,
+//     bypassing hit/miss logic and valid bits — retained garbage, secrets
+//     and all.
+//   - Caches are software-enabled: until enabled, accesses bypass to the
+//     next level and the RAM contents stay whatever power-up or retention
+//     left there.
+//   - Lines carry a TrustZone NS bit; secure lines can be barred from
+//     non-secure RAMINDEX reads (one of the §8 countermeasures).
+//   - Ways can be locked (CaSE-style cache-as-RAM), excluding them from
+//     eviction.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sram"
+)
+
+// Backing is the next level in the memory hierarchy (an outer cache or
+// the memory system), accessed at line granularity.
+type Backing interface {
+	// ReadLine fills buf with the line at the aligned address addr.
+	ReadLine(addr uint64, buf []byte) error
+	// WriteLine writes buf back to the aligned address addr.
+	WriteLine(addr uint64, buf []byte) error
+}
+
+// Config fixes a cache's geometry.
+type Config struct {
+	// Name identifies the cache in logs and RAMINDEX maps, e.g.
+	// "core0.L1D".
+	Name string
+	// SizeBytes is the total data capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the line size.
+	LineBytes int
+	// InlineECC marks data RAMs that store each 32-bit word interleaved
+	// with its ECC bits in an undocumented order (the Cortex-A53 i-cache,
+	// paper footnote 4). Architectural reads are transparent — hardware
+	// decodes — but the raw RAMINDEX view differs from the plain machine
+	// code, so extractions can only be scored by before/after comparison.
+	// Modelled as a deterministic per-word scramble (ECCEncodeWord).
+	InlineECC bool
+}
+
+// ECCEncodeWord returns the raw data-RAM image of a 32-bit word in an
+// InlineECC cache: the word XOR-folded with a parity-derived mask,
+// standing in for the undocumented data+ECC interleaving. It is an
+// involution-free bijection per word; ECCDecodeWord inverts it.
+func ECCEncodeWord(w uint32) uint32 {
+	return w ^ eccMask(w)
+}
+
+// ECCDecodeWord inverts ECCEncodeWord. The parity nibble appears an even
+// number of times in the mask, so the XOR-fold of a stored word equals
+// the fold of the original — the mask can be re-derived from the stored
+// image directly.
+func ECCDecodeWord(stored uint32) uint32 {
+	return stored ^ eccMask(stored)
+}
+
+// eccMask derives the per-word scramble from parity folds of the word.
+func eccMask(w uint32) uint32 {
+	p := w ^ w>>16
+	p ^= p >> 8
+	p ^= p >> 4
+	p &= 0xF
+	// Replicate the 4-bit parity nibble across the word the way packed
+	// ECC fields would sit between data bits.
+	return p * 0x10101010
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / c.Ways / c.LineBytes }
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	}
+	if c.LineBytes%8 != 0 {
+		return fmt.Errorf("cache %s: line size must be a multiple of 8", c.Name)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("cache %s: size not divisible by ways×line", c.Name)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, s)
+	}
+	return nil
+}
+
+// Tag-RAM entry layout (one 64-bit word per way×set):
+//
+//	bits [51:0]  tag
+//	bit  61      NS (non-secure allocation)
+//	bit  62      dirty
+//	bit  63      valid
+//
+// Lock bits are microarchitectural configuration, not SRAM content, and
+// live in plain fields.
+const (
+	tagValidBit = 1 << 63
+	tagDirtyBit = 1 << 62
+	tagNSBit    = 1 << 61
+	tagMask     = 1<<52 - 1
+)
+
+// Stats counts cache events since the last ResetStats.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	Bypasses   uint64
+}
+
+// Cache is one set-associative cache level backed by SRAM arrays.
+type Cache struct {
+	cfg     Config
+	sets    int
+	backing Backing
+
+	// dataRAM[w] holds sets×LineBytes bytes for way w; the per-way split
+	// mirrors how the paper dumps and reports "WAY0"/"WAY1" images.
+	dataRAM []*sram.Array
+	// tagRAM holds one 64-bit entry per (way, set): way-major layout.
+	tagRAM *sram.Array
+
+	// enabled gates allocation: a disabled cache bypasses to backing
+	// without touching the RAMs.
+	enabled bool
+	// lockedWays[w] excludes way w from replacement (CaSE cache-as-RAM).
+	lockedWays []bool
+	// lastUse[w][set] is an LRU timestamp. Replacement is true LRU —
+	// close enough to the pseudo-LRU of the modelled cores, and the
+	// property behind Table 4's shape: background noise evicts its own
+	// stale lines until the benchmark's working set fills the cache.
+	// This is microarchitectural metadata; its loss across power cycles
+	// is irrelevant to the attack, so it lives in plain memory.
+	lastUse [][]uint64
+	useTick uint64
+
+	stats Stats
+}
+
+// New builds a cache and its SRAM arrays. The arrays are registered as
+// loads on a power domain by the caller (typically soc.Device wiring).
+func New(env *sim.Env, cfg Config, model sram.RetentionModel, seed uint64, backing Backing) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:        cfg,
+		sets:       sets,
+		backing:    backing,
+		dataRAM:    make([]*sram.Array, cfg.Ways),
+		lockedWays: make([]bool, cfg.Ways),
+		lastUse:    make([][]uint64, cfg.Ways),
+	}
+	for w := range c.lastUse {
+		c.lastUse[w] = make([]uint64, sets)
+	}
+	for w := range c.dataRAM {
+		c.dataRAM[w] = sram.NewArray(env, fmt.Sprintf("%s.data.w%d", cfg.Name, w),
+			sets*cfg.LineBytes*8, model, seed)
+	}
+	c.tagRAM = sram.NewArray(env, cfg.Name+".tag", cfg.Ways*sets*64, model, seed)
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Arrays returns every SRAM array the cache owns (for power-domain
+// attachment): data ways first, then the tag RAM.
+func (c *Cache) Arrays() []*sram.Array {
+	out := make([]*sram.Array, 0, len(c.dataRAM)+1)
+	out = append(out, c.dataRAM...)
+	return append(out, c.tagRAM)
+}
+
+// Enabled reports whether the cache allocates.
+func (c *Cache) Enabled() bool { return c.enabled }
+
+// SetEnabled turns allocation on or off. Disabling does not flush: that
+// is the software's job (and the attacker's opportunity).
+func (c *Cache) SetEnabled(on bool) { c.enabled = on }
+
+// LockWay marks a way as non-evictable.
+func (c *Cache) LockWay(w int, locked bool) { c.lockedWays[w] = locked }
+
+// WayLocked reports whether way w is locked.
+func (c *Cache) WayLocked(w int) bool { return c.lockedWays[w] }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) index(addr uint64) (tag uint64, set int, off int) {
+	off = int(addr) & (c.cfg.LineBytes - 1)
+	set = int(addr/uint64(c.cfg.LineBytes)) & (c.sets - 1)
+	tag = addr / uint64(c.cfg.LineBytes) / uint64(c.sets)
+	return tag & tagMask, set, off
+}
+
+func (c *Cache) tagEntry(way, set int) uint64 {
+	return c.tagRAM.ReadUint64((way*c.sets + set) * 8)
+}
+
+func (c *Cache) setTagEntry(way, set int, v uint64) {
+	c.tagRAM.WriteUint64((way*c.sets+set)*8, v)
+}
+
+// lookup returns the hitting way for addr, or -1.
+func (c *Cache) lookup(tag uint64, set int) int {
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := c.tagEntry(w, set)
+		if e&tagValidBit != 0 && e&tagMask == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks the way to replace in set, honouring locks. Invalid ways
+// win first; otherwise the least recently used unlocked way.
+func (c *Cache) victim(set int) (int, error) {
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.lockedWays[w] {
+			continue
+		}
+		if c.tagEntry(w, set)&tagValidBit == 0 {
+			return w, nil
+		}
+	}
+	best, bestUse := -1, ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.lockedWays[w] {
+			continue
+		}
+		if c.lastUse[w][set] <= bestUse {
+			// <= so the scan is deterministic and prefers higher ways on
+			// ties, matching the pre-LRU behaviour tests rely on.
+			if c.lastUse[w][set] < bestUse || best < 0 {
+				best, bestUse = w, c.lastUse[w][set]
+			}
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("cache %s: all ways locked in set %d", c.cfg.Name, set)
+	}
+	return best, nil
+}
+
+// touch records a use of (way, set) for LRU.
+func (c *Cache) touch(way, set int) {
+	c.useTick++
+	c.lastUse[way][set] = c.useTick
+}
+
+func (c *Cache) lineAddr(tag uint64, set int) uint64 {
+	return (tag*uint64(c.sets) + uint64(set)) * uint64(c.cfg.LineBytes)
+}
+
+// fill brings the line containing addr into (tag,set) and returns the
+// way. Dirty victims are written back first.
+func (c *Cache) fill(tag uint64, set int, secure bool) (int, error) {
+	w, err := c.victim(set)
+	if err != nil {
+		return 0, err
+	}
+	if e := c.tagEntry(w, set); e&tagValidBit != 0 && e&tagDirtyBit != 0 {
+		victimAddr := c.lineAddr(e&tagMask, set)
+		buf := c.dataRAM[w].ReadBytes(set*c.cfg.LineBytes, c.cfg.LineBytes)
+		if c.cfg.InlineECC {
+			eccDecodeLine(buf)
+		}
+		if err := c.backing.WriteLine(victimAddr, buf); err != nil {
+			return 0, fmt.Errorf("cache %s: writeback of %#x: %w", c.cfg.Name, victimAddr, err)
+		}
+		c.stats.Writebacks++
+	}
+	if c.tagEntry(w, set)&tagValidBit != 0 {
+		c.stats.Evictions++
+	}
+	buf := make([]byte, c.cfg.LineBytes)
+	if err := c.backing.ReadLine(c.lineAddr(tag, set), buf); err != nil {
+		return 0, fmt.Errorf("cache %s: fill of %#x: %w", c.cfg.Name, c.lineAddr(tag, set), err)
+	}
+	if c.cfg.InlineECC {
+		eccEncodeLine(buf)
+	}
+	c.dataRAM[w].WriteBytes(set*c.cfg.LineBytes, buf)
+	entry := tag | tagValidBit
+	if !secure {
+		entry |= tagNSBit
+	}
+	c.setTagEntry(w, set, entry)
+	return w, nil
+}
+
+// Access performs a read or write of size bytes (1–8, not crossing a
+// line) at addr. secure is the TrustZone state of the requestor, recorded
+// in the NS bit on allocation. Returns the loaded value for reads.
+func (c *Cache) Access(addr uint64, size int, write bool, wdata uint64, secure bool) (uint64, error) {
+	tag, set, off := c.index(addr)
+	if off+size > c.cfg.LineBytes {
+		return 0, fmt.Errorf("cache %s: access at %#x size %d crosses a line", c.cfg.Name, addr, size)
+	}
+	if !c.enabled {
+		c.stats.Bypasses++
+		return c.bypass(addr, size, write, wdata)
+	}
+	w := c.lookup(tag, set)
+	if w < 0 {
+		c.stats.Misses++
+		var err error
+		w, err = c.fill(tag, set, secure)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		c.stats.Hits++
+	}
+	c.touch(w, set)
+	base := set*c.cfg.LineBytes + off
+	if c.cfg.InlineECC {
+		return c.accessECC(w, set, base, size, write, wdata)
+	}
+	if write {
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = byte(wdata >> (8 * i))
+		}
+		c.dataRAM[w].WriteBytes(base, buf)
+		c.setTagEntry(w, set, c.tagEntry(w, set)|tagDirtyBit)
+		return 0, nil
+	}
+	buf := c.dataRAM[w].ReadBytes(base, size)
+	var v uint64
+	for i, b := range buf {
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// accessECC performs an architectural access to an InlineECC data RAM:
+// the hardware decodes stored words on read and re-encodes on write, so
+// software sees plain data while the RAM holds the scrambled image.
+// Accesses operate on the 4-byte codeword(s) covering the request.
+func (c *Cache) accessECC(w, set, base, size int, write bool, wdata uint64) (uint64, error) {
+	wordBase := base &^ 3
+	span := (base + size + 3) &^ 3
+	raw := c.dataRAM[w].ReadBytes(wordBase, span-wordBase)
+	plain := make([]byte, len(raw))
+	for i := 0; i+4 <= len(raw); i += 4 {
+		word := uint32(raw[i]) | uint32(raw[i+1])<<8 | uint32(raw[i+2])<<16 | uint32(raw[i+3])<<24
+		dec := ECCDecodeWord(word)
+		plain[i], plain[i+1], plain[i+2], plain[i+3] = byte(dec), byte(dec>>8), byte(dec>>16), byte(dec>>24)
+	}
+	off := base - wordBase
+	if write {
+		for i := 0; i < size; i++ {
+			plain[off+i] = byte(wdata >> (8 * i))
+		}
+		for i := 0; i+4 <= len(plain); i += 4 {
+			word := uint32(plain[i]) | uint32(plain[i+1])<<8 | uint32(plain[i+2])<<16 | uint32(plain[i+3])<<24
+			enc := ECCEncodeWord(word)
+			raw[i], raw[i+1], raw[i+2], raw[i+3] = byte(enc), byte(enc>>8), byte(enc>>16), byte(enc>>24)
+		}
+		c.dataRAM[w].WriteBytes(wordBase, raw)
+		c.setTagEntry(w, set, c.tagEntry(w, set)|tagDirtyBit)
+		return 0, nil
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(plain[off+i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// eccEncodeLine scrambles a line buffer in place for InlineECC storage.
+func eccEncodeLine(buf []byte) {
+	for i := 0; i+4 <= len(buf); i += 4 {
+		word := uint32(buf[i]) | uint32(buf[i+1])<<8 | uint32(buf[i+2])<<16 | uint32(buf[i+3])<<24
+		enc := ECCEncodeWord(word)
+		buf[i], buf[i+1], buf[i+2], buf[i+3] = byte(enc), byte(enc>>8), byte(enc>>16), byte(enc>>24)
+	}
+}
+
+// eccDecodeLine unscrambles a line buffer in place (writebacks).
+func eccDecodeLine(buf []byte) {
+	for i := 0; i+4 <= len(buf); i += 4 {
+		word := uint32(buf[i]) | uint32(buf[i+1])<<8 | uint32(buf[i+2])<<16 | uint32(buf[i+3])<<24
+		dec := ECCDecodeWord(word)
+		buf[i], buf[i+1], buf[i+2], buf[i+3] = byte(dec), byte(dec>>8), byte(dec>>16), byte(dec>>24)
+	}
+}
+
+// bypass routes an access around the disabled cache: read-modify-write of
+// the backing line.
+func (c *Cache) bypass(addr uint64, size int, write bool, wdata uint64) (uint64, error) {
+	lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
+	off := int(addr - lineAddr)
+	buf := make([]byte, c.cfg.LineBytes)
+	if err := c.backing.ReadLine(lineAddr, buf); err != nil {
+		return 0, err
+	}
+	if write {
+		for i := 0; i < size; i++ {
+			buf[off+i] = byte(wdata >> (8 * i))
+		}
+		return 0, c.backing.WriteLine(lineAddr, buf)
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(buf[off+i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// ReadLine implements Backing, letting this cache serve as the next level
+// for an inner cache (L1 → L2).
+func (c *Cache) ReadLine(addr uint64, buf []byte) error {
+	if len(buf) != c.cfg.LineBytes {
+		// Inner line size differs; fall back to word loop.
+		for i := 0; i < len(buf); i += 8 {
+			v, err := c.Access(addr+uint64(i), 8, false, 0, false)
+			if err != nil {
+				return err
+			}
+			for k := 0; k < 8 && i+k < len(buf); k++ {
+				buf[i+k] = byte(v >> (8 * k))
+			}
+		}
+		return nil
+	}
+	for i := 0; i < len(buf); i += 8 {
+		v, err := c.Access(addr+uint64(i), 8, false, 0, false)
+		if err != nil {
+			return err
+		}
+		for k := 0; k < 8; k++ {
+			buf[i+k] = byte(v >> (8 * k))
+		}
+	}
+	return nil
+}
+
+// WriteLine implements Backing.
+func (c *Cache) WriteLine(addr uint64, buf []byte) error {
+	for i := 0; i < len(buf); i += 8 {
+		var v uint64
+		for k := 0; k < 8 && i+k < len(buf); k++ {
+			v |= uint64(buf[i+k]) << (8 * k)
+		}
+		if _, err := c.Access(addr+uint64(i), 8, true, v, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CleanInvalidateAll writes back every dirty line and clears all valid
+// bits. Data RAM contents are untouched — the paper's key observation.
+func (c *Cache) CleanInvalidateAll() error {
+	for w := 0; w < c.cfg.Ways; w++ {
+		for s := 0; s < c.sets; s++ {
+			e := c.tagEntry(w, s)
+			if e&tagValidBit == 0 {
+				continue
+			}
+			if e&tagDirtyBit != 0 {
+				buf := c.dataRAM[w].ReadBytes(s*c.cfg.LineBytes, c.cfg.LineBytes)
+				if c.cfg.InlineECC {
+					eccDecodeLine(buf)
+				}
+				if err := c.backing.WriteLine(c.lineAddr(e&tagMask, s), buf); err != nil {
+					return err
+				}
+				c.stats.Writebacks++
+			}
+			c.setTagEntry(w, s, e&^(tagValidBit|tagDirtyBit))
+		}
+	}
+	return nil
+}
+
+// InvalidateAll clears every valid bit without writing anything back
+// (IC IALLU semantics for i-caches). Data RAM contents are untouched.
+func (c *Cache) InvalidateAll() {
+	for w := 0; w < c.cfg.Ways; w++ {
+		for s := 0; s < c.sets; s++ {
+			e := c.tagEntry(w, s)
+			if e&tagValidBit != 0 {
+				c.setTagEntry(w, s, e&^(tagValidBit|tagDirtyBit))
+			}
+		}
+	}
+}
+
+// CleanInvalidateVA cleans and invalidates the single line containing
+// addr, if present (DC CIVAC).
+func (c *Cache) CleanInvalidateVA(addr uint64) error {
+	tag, set, _ := c.index(addr)
+	w := c.lookup(tag, set)
+	if w < 0 {
+		return nil
+	}
+	e := c.tagEntry(w, set)
+	if e&tagDirtyBit != 0 {
+		buf := c.dataRAM[w].ReadBytes(set*c.cfg.LineBytes, c.cfg.LineBytes)
+		if c.cfg.InlineECC {
+			eccDecodeLine(buf)
+		}
+		if err := c.backing.WriteLine(c.lineAddr(tag, set), buf); err != nil {
+			return err
+		}
+		c.stats.Writebacks++
+	}
+	c.setTagEntry(w, set, e&^(tagValidBit|tagDirtyBit))
+	return nil
+}
+
+// ZeroLineVA implements DC ZVA: allocate the line containing addr and
+// write zeros into its data RAM. This is the only maintenance operation
+// that modifies data RAM contents (§5.2.4) — and it is d-cache only.
+func (c *Cache) ZeroLineVA(addr uint64, secure bool) error {
+	if !c.enabled {
+		// Architecturally DC ZVA with the cache off zeroes memory
+		// directly.
+		lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
+		return c.backing.WriteLine(lineAddr, make([]byte, c.cfg.LineBytes))
+	}
+	tag, set, _ := c.index(addr)
+	w := c.lookup(tag, set)
+	if w < 0 {
+		var err error
+		// ZVA allocates without a backing fill: pick a victim, write back
+		// if dirty, then install the zero line.
+		w, err = c.victim(set)
+		if err != nil {
+			return err
+		}
+		if e := c.tagEntry(w, set); e&tagValidBit != 0 && e&tagDirtyBit != 0 {
+			buf := c.dataRAM[w].ReadBytes(set*c.cfg.LineBytes, c.cfg.LineBytes)
+			if c.cfg.InlineECC {
+				eccDecodeLine(buf)
+			}
+			if err := c.backing.WriteLine(c.lineAddr(e&tagMask, set), buf); err != nil {
+				return err
+			}
+			c.stats.Writebacks++
+		}
+	}
+	// The all-zero line is its own ECC encoding (parity of zero is zero),
+	// so no transform is needed here even for InlineECC RAMs.
+	c.dataRAM[w].WriteBytes(set*c.cfg.LineBytes, make([]byte, c.cfg.LineBytes))
+	entry := tag | tagValidBit | tagDirtyBit
+	if !secure {
+		entry |= tagNSBit
+	}
+	c.setTagEntry(w, set, entry)
+	c.touch(w, set)
+	return nil
+}
+
+// LineInfo is the tag-side metadata of one (way, set) as RAMINDEX sees it.
+type LineInfo struct {
+	Valid     bool
+	Dirty     bool
+	NonSecure bool
+	Tag       uint64
+	// Addr is the line's memory address if Valid.
+	Addr uint64
+}
+
+// Line returns the tag metadata for (way, set).
+func (c *Cache) Line(way, set int) LineInfo {
+	return ParseTagEntry(c.tagEntry(way, set), set, c.cfg)
+}
+
+// ParseTagEntry decodes a raw tag-RAM word (as read via RAMINDEX) into
+// line metadata for the given set and cache geometry — the attacker-side
+// post-processing that turns a tag dump into the *addresses* of the
+// stolen lines.
+func ParseTagEntry(e uint64, set int, cfg Config) LineInfo {
+	li := LineInfo{
+		Valid:     e&tagValidBit != 0,
+		Dirty:     e&tagDirtyBit != 0,
+		NonSecure: e&tagNSBit != 0,
+		Tag:       e & tagMask,
+	}
+	if li.Valid {
+		li.Addr = (li.Tag*uint64(cfg.Sets()) + uint64(set)) * uint64(cfg.LineBytes)
+	}
+	return li
+}
+
+// RAMIndexData reads the 64-bit word at wordIndex of way's data RAM,
+// exactly as the RAMINDEX debug operation does: no hit/miss logic, no
+// valid-bit check. wordIndex counts 64-bit words from the start of the
+// way (set·wordsPerLine + wordInLine).
+func (c *Cache) RAMIndexData(way, wordIndex int) (uint64, error) {
+	if way < 0 || way >= c.cfg.Ways {
+		return 0, fmt.Errorf("cache %s: RAMINDEX way %d out of range", c.cfg.Name, way)
+	}
+	if wordIndex < 0 || wordIndex*8 >= c.sets*c.cfg.LineBytes {
+		return 0, fmt.Errorf("cache %s: RAMINDEX word %d out of range", c.cfg.Name, wordIndex)
+	}
+	return c.dataRAM[way].ReadUint64(wordIndex * 8), nil
+}
+
+// RAMIndexTag reads the raw tag entry for (way, set) via the debug path.
+func (c *Cache) RAMIndexTag(way, set int) (uint64, error) {
+	if way < 0 || way >= c.cfg.Ways || set < 0 || set >= c.sets {
+		return 0, fmt.Errorf("cache %s: RAMINDEX tag (%d,%d) out of range", c.cfg.Name, way, set)
+	}
+	return c.tagEntry(way, set), nil
+}
+
+// SecureLineAt reports whether the line holding the data-RAM word at
+// wordIndex of way is a valid secure (NS=0) allocation — used by the
+// TrustZone countermeasure to veto RAMINDEX reads.
+func (c *Cache) SecureLineAt(way, wordIndex int) bool {
+	set := wordIndex * 8 / c.cfg.LineBytes
+	if set >= c.sets {
+		return false
+	}
+	li := c.Line(way, set)
+	return li.Valid && !li.NonSecure
+}
+
+// WayBytes is the data capacity of one way.
+func (c *Cache) WayBytes() int { return c.sets * c.cfg.LineBytes }
+
+// DumpWay returns the raw contents of one way's data RAM — what an
+// attacker reconstructs by sweeping RAMINDEX over the way.
+func (c *Cache) DumpWay(way int) []byte {
+	return c.dataRAM[way].ReadBytes(0, c.WayBytes())
+}

@@ -1,0 +1,268 @@
+// Package dram models dynamic RAM at the granularity cold boot attacks
+// care about: per-cell capacitor charge that decays toward a fixed ground
+// state when refresh stops, with strongly temperature-dependent retention.
+//
+// The model exists to reproduce the paper's *contrast* experiments: the
+// classic Halderman-style cold boot attack works against DRAM because
+//
+//   - retention times are seconds at room temperature and minutes below
+//     −50 °C (orders of magnitude beyond SRAM's, thanks to the much larger
+//     storage capacitance),
+//   - decay is unidirectional toward a per-cell ground state (cells are
+//     physically "true" or "anti" depending on bank wiring, so memory
+//     decays in blocks toward all-0 or all-1), which makes partial images
+//     correctable — unlike bistable SRAM (§5.1, §9.2).
+//
+// A Module may be wrapped in a Scrambler, modelling the DDR3/DDR4
+// session-key scrambling that modern memory controllers apply (§2.2,
+// §9.1): the array then stores data XORed with a keystream derived from a
+// per-boot key, so a physically extracted image is useless without the
+// key.
+package dram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// RetentionModel holds the decay constants for a DRAM die.
+type RetentionModel struct {
+	// MedianRetention300K is the median time an unrefreshed, unpowered
+	// cell holds its charge at 300 K.
+	MedianRetention300K sim.Time
+	// ActivationK is the Arrhenius Eₐ/k term in Kelvin.
+	ActivationK float64
+	// RetentionSigma is the lognormal shape of per-cell retention.
+	RetentionSigma float64
+	// GroundBlockBytes is the size of the alternating true-/anti-cell
+	// regions: even blocks decay toward 0x00, odd blocks toward 0xFF.
+	GroundBlockBytes int
+}
+
+// DefaultRetentionModel is calibrated to the cold boot literature: a few
+// seconds of median retention at room temperature, minutes below −50 °C.
+func DefaultRetentionModel() RetentionModel {
+	return RetentionModel{
+		MedianRetention300K: 3 * sim.Second,
+		ActivationK:         5000,
+		RetentionSigma:      1.0,
+		GroundBlockBytes:    64 * 1024,
+	}
+}
+
+// MedianRetentionAt returns the median retention time at the given
+// absolute temperature.
+func (m RetentionModel) MedianRetentionAt(kelvin float64) sim.Time {
+	if kelvin <= 0 {
+		panic("dram: non-positive absolute temperature")
+	}
+	scale := math.Exp(m.ActivationK * (1/kelvin - 1.0/300.0))
+	return sim.Time(float64(m.MedianRetention300K) * scale)
+}
+
+// Module is one DRAM device (or rank): a byte array with decay physics.
+type Module struct {
+	name  string
+	env   *sim.Env
+	model RetentionModel
+	rng   *xrand.Rand
+
+	data []byte
+	// logRetention[i] is the per-byte retention multiplier in log space.
+	// Byte granularity (rather than bit) keeps 1 GB modules tractable and
+	// loses nothing: the attack statistics operate on error fractions far
+	// above the within-byte correlation this introduces.
+	logRetention []float32
+
+	powered bool
+	// offSince/offTempK track the current unpowered interval.
+	offSince sim.Time
+	offTempK float64
+}
+
+// NewModule creates a DRAM module of size bytes. It starts powered with
+// ground-state contents (a freshly powered DRAM reads as its ground
+// pattern).
+func NewModule(env *sim.Env, name string, size int, model RetentionModel, seed uint64) *Module {
+	if size <= 0 {
+		panic("dram: module size must be positive")
+	}
+	m := &Module{
+		name:         name,
+		env:          env,
+		model:        model,
+		rng:          xrand.Derive(seed, "dram:"+name),
+		data:         make([]byte, size),
+		logRetention: make([]float32, size),
+		powered:      true,
+	}
+	for i := range m.logRetention {
+		m.logRetention[i] = float32(model.RetentionSigma * m.rng.NormFloat64())
+	}
+	for i := range m.data {
+		m.data[i] = m.groundByte(i)
+	}
+	return m
+}
+
+// Name returns the module name.
+func (m *Module) Name() string { return m.name }
+
+// Size returns the module capacity in bytes.
+func (m *Module) Size() int { return len(m.data) }
+
+// Powered reports whether the module is receiving power (and refresh).
+func (m *Module) Powered() bool { return m.powered }
+
+// groundByte is the value byte i decays toward.
+func (m *Module) groundByte(i int) byte {
+	if (i/m.model.GroundBlockBytes)%2 == 1 {
+		return 0xFF
+	}
+	return 0x00
+}
+
+// PowerOff stops power and refresh at the current simulation time and
+// temperature. Subsequent PowerOn resolves decay over the interval.
+func (m *Module) PowerOff() {
+	if !m.powered {
+		return
+	}
+	m.powered = false
+	m.offSince = m.env.Now()
+	m.offTempK = m.env.TemperatureK()
+	m.env.Logf("dram", "%s power off at %.1f°C", m.name, m.env.TemperatureC())
+}
+
+// PowerOn restores power, resolving which bytes decayed to ground during
+// the outage. Bytes whose personal retention time exceeds the outage
+// survive intact — the cold boot attack's entire premise.
+func (m *Module) PowerOn() {
+	if m.powered {
+		return
+	}
+	m.powered = true
+	elapsed := float64(m.env.Now() - m.offSince)
+	median := float64(m.model.MedianRetentionAt(m.offTempK))
+	decayed := 0
+	for i := range m.data {
+		retention := median * math.Exp(float64(m.logRetention[i]))
+		if elapsed >= retention {
+			if g := m.groundByte(i); m.data[i] != g {
+				m.data[i] = g
+				decayed++
+			}
+		}
+	}
+	m.env.Logf("dram", "%s power on: %d/%d bytes decayed to ground", m.name, decayed, len(m.data))
+}
+
+func (m *Module) check(op string, off, n int) {
+	if !m.powered {
+		panic(fmt.Sprintf("dram: %s on unpowered module %s", op, m.name))
+	}
+	if off < 0 || n < 0 || off+n > len(m.data) {
+		panic(fmt.Sprintf("dram: %s out of range on %s: off=%d n=%d size=%d", op, m.name, off, n, len(m.data)))
+	}
+}
+
+// Write stores b at offset off.
+func (m *Module) Write(off int, b []byte) {
+	m.check("Write", off, len(b))
+	copy(m.data[off:], b)
+}
+
+// Read returns n bytes from offset off.
+func (m *Module) Read(off, n int) []byte {
+	m.check("Read", off, n)
+	out := make([]byte, n)
+	copy(out, m.data[off:off+n])
+	return out
+}
+
+// ReadLine implements the cache.Backing contract for line fills.
+func (m *Module) ReadLine(addr uint64, buf []byte) error {
+	if !m.powered {
+		return fmt.Errorf("dram: %s is unpowered", m.name)
+	}
+	if addr+uint64(len(buf)) > uint64(len(m.data)) {
+		return fmt.Errorf("dram: %s read at %#x+%d out of range", m.name, addr, len(buf))
+	}
+	copy(buf, m.data[addr:])
+	return nil
+}
+
+// WriteLine implements the cache.Backing contract for writebacks.
+func (m *Module) WriteLine(addr uint64, buf []byte) error {
+	if !m.powered {
+		return fmt.Errorf("dram: %s is unpowered", m.name)
+	}
+	if addr+uint64(len(buf)) > uint64(len(m.data)) {
+		return fmt.Errorf("dram: %s write at %#x+%d out of range", m.name, addr, len(buf))
+	}
+	copy(m.data[addr:], buf)
+	return nil
+}
+
+// DecayDirectionKnown reports, for byte offset i, the value the byte
+// decays toward — the side information a cold boot post-processor uses
+// for error correction.
+func (m *Module) DecayDirectionKnown(i int) byte { return m.groundByte(i) }
+
+// Scrambler wraps a Module with DDR-style data scrambling: every byte is
+// XORed with a keystream position derived from a per-boot session key.
+// Physically extracting the module's cells yields scrambled data.
+type Scrambler struct {
+	mod *Module
+	key uint64
+}
+
+// NewScrambler wraps mod. Call NewBootKey before use.
+func NewScrambler(mod *Module) *Scrambler { return &Scrambler{mod: mod} }
+
+// Module returns the underlying physical module (what a cold boot
+// attacker rips out and reads).
+func (s *Scrambler) Module() *Module { return s.mod }
+
+// NewBootKey draws a fresh session key, as the memory controller does at
+// every boot. Data scrambled under a previous key becomes unintelligible.
+func (s *Scrambler) NewBootKey(seed uint64) {
+	st := seed
+	s.key = xrand.SplitMix64(&st)
+	s.mod.env.Logf("dram", "%s: new scrambler session key", s.mod.name)
+}
+
+func (s *Scrambler) keystream(off, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		pos := uint64(off+i) / 8
+		st := s.key ^ pos
+		word := xrand.SplitMix64(&st)
+		out[i] = byte(word >> (8 * (uint64(off+i) % 8)))
+	}
+	return out
+}
+
+// Write scrambles b and stores it.
+func (s *Scrambler) Write(off int, b []byte) {
+	ks := s.keystream(off, len(b))
+	enc := make([]byte, len(b))
+	for i := range b {
+		enc[i] = b[i] ^ ks[i]
+	}
+	s.mod.Write(off, enc)
+}
+
+// Read returns descrambled data — what the CPU sees through the
+// controller.
+func (s *Scrambler) Read(off, n int) []byte {
+	enc := s.mod.Read(off, n)
+	ks := s.keystream(off, n)
+	for i := range enc {
+		enc[i] ^= ks[i]
+	}
+	return enc
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/soc"
+)
+
+// DefenseOutcome is one row of the §8 countermeasure survey: what happens
+// when the full Volt Boot cache attack runs against a defended device.
+type DefenseOutcome struct {
+	Name string
+	// AttackSucceeded is true when the attacker recovers the victim's
+	// cache contents with high accuracy.
+	AttackSucceeded bool
+	// RetentionAccuracy is the measured extraction accuracy against the
+	// captured cache state (1.0 = perfect theft).
+	RetentionAccuracy float64
+	// FailureMode describes how the defense stopped the attack ("" when
+	// it did not).
+	FailureMode string
+}
+
+// CountermeasuresResult is the full survey.
+type CountermeasuresResult struct {
+	Outcomes []DefenseOutcome
+}
+
+// runDefendedAttack stages the standard pattern victim, then attacks a
+// device built with the given options. secureVictim runs the victim in
+// the TrustZone secure world (the CaSE deployment model).
+func runDefendedAttack(seed uint64, opts soc.Options, secureVictim bool, orderlyShutdown bool) (*DefenseOutcome, error) {
+	spec := soc.BCM2711()
+	b, _, err := newBoard(spec, opts, seed)
+	if err != nil {
+		return nil, err
+	}
+	victim, err := core.VictimPatternFillImage(0x100000, 2048, 0x5A)
+	if err != nil {
+		return nil, err
+	}
+	// The victim is the device owner's legitimate software: the OEM signs
+	// it, so it boots under every countermeasure.
+	if secureVictim {
+		victim.TrustedWorld = true
+	}
+	victim.Signature = b.SoC.SignImage(victim)
+	if err := core.RunVictim(b, victim, 50_000_000); err != nil {
+		return nil, err
+	}
+	// Ground truth is the cache state while the victim's secrets are
+	// resident — what the attacker is trying to steal.
+	truth := make([][]byte, spec.L1D.Ways)
+	for w := range truth {
+		truth[w] = b.SoC.Cores[0].L1D.DumpWay(w)
+	}
+	if orderlyShutdown {
+		// The defense-side scenario: the device gets to run its shutdown
+		// purge before losing power. (Volt Boot's abrupt disconnect is
+		// exactly the path that skips this.)
+		b.SoC.OrderlyShutdown()
+	}
+	ext, err := core.VoltBootCaches(b, core.DefaultAttackConfig())
+	if err != nil {
+		if errors.Is(err, soc.ErrUnsignedImage) {
+			return &DefenseOutcome{FailureMode: "extraction payload refused by boot chain"}, nil
+		}
+		return nil, err
+	}
+	var accs []float64
+	for w, way := range ext.Dumps[0].L1D {
+		accs = append(accs, analysis.RetentionAccuracy(truth[w], way))
+	}
+	acc := analysis.Mean(accs)
+	out := &DefenseOutcome{RetentionAccuracy: acc, AttackSucceeded: acc > 0.95}
+	return out, nil
+}
+
+// Countermeasures runs the §8 survey: the undefended baseline plus each
+// proposed defense, reporting whether Volt Boot still works.
+func Countermeasures(seed uint64) (*CountermeasuresResult, error) {
+	res := &CountermeasuresResult{}
+
+	add := func(name string, opts soc.Options, secureVictim, orderly bool, expectedFailure string) error {
+		o, err := runDefendedAttack(seed, opts, secureVictim, orderly)
+		if err != nil {
+			return fmt.Errorf("experiments: countermeasure %q: %w", name, err)
+		}
+		o.Name = name
+		if !o.AttackSucceeded && o.FailureMode == "" {
+			o.FailureMode = expectedFailure
+		}
+		res.Outcomes = append(res.Outcomes, *o)
+		return nil
+	}
+
+	if err := add("none (baseline)", soc.Options{}, false, false, ""); err != nil {
+		return nil, err
+	}
+	if err := add("purge on orderly shutdown", soc.Options{}, false, false, ""); err != nil {
+		return nil, err
+	}
+	// The purge defense only works when the shutdown path runs — show
+	// both sides.
+	if err := add("purge, but abrupt disconnect skips it", soc.Options{}, false, false, ""); err != nil {
+		return nil, err
+	}
+	{
+		// Orderly shutdown variant: attacker lets the device power down
+		// normally first (not the Volt Boot threat model, for contrast).
+		o, err := runDefendedAttack(seed, soc.Options{}, false, true)
+		if err != nil {
+			return nil, err
+		}
+		o.Name = "purge ran (graceful power-down, for contrast)"
+		if !o.AttackSucceeded {
+			o.FailureMode = "caches zeroized before power loss"
+		}
+		res.Outcomes = append(res.Outcomes, *o)
+	}
+	if err := add("MBIST reset at startup", soc.Options{MBISTReset: true}, false, false,
+		"hardware zeroized SRAM during boot"); err != nil {
+		return nil, err
+	}
+	if err := add("power-toggle reset at startup", soc.Options{PowerToggleReset: true}, false, false,
+		"internal SRAM power gate toggled at reset"); err != nil {
+		return nil, err
+	}
+	if err := add("TrustZone NS-bit enforcement", soc.Options{TrustZone: true}, true, false,
+		"RAMINDEX denied on secure lines from non-secure payload"); err != nil {
+		return nil, err
+	}
+	if err := add("mandated authenticated boot", soc.Options{AuthenticatedBoot: true}, false, false,
+		"extraction payload refused by boot chain"); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the survey.
+func (r *CountermeasuresResult) String() string {
+	var b strings.Builder
+	b.WriteString("§8: countermeasure survey (Volt Boot cache attack vs BCM2711)\n")
+	fmt.Fprintf(&b, "  %-46s %-10s %-10s %s\n", "Defense", "Attack", "Accuracy", "Failure mode")
+	for _, o := range r.Outcomes {
+		verdict := "DEFEATED"
+		if o.AttackSucceeded {
+			verdict = "SUCCEEDS"
+		}
+		fmt.Fprintf(&b, "  %-46s %-10s %-10s %s\n", o.Name, verdict, pct(o.RetentionAccuracy), o.FailureMode)
+	}
+	return b.String()
+}

@@ -1,0 +1,702 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AsmError is an assembly failure annotated with the 1-based source line.
+type AsmError struct {
+	Line int
+	Msg  string
+}
+
+func (e *AsmError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates VBA64 assembly source into machine words. base is
+// the load address of the first instruction, used to resolve label
+// displacements.
+//
+// Syntax summary:
+//
+//	label:                      ; labels end with ':'
+//	  MOVZ X0, #0x10, LSL #16   ; comments start with ';' or '//'
+//	  MOVK X0, #0xAA
+//	  LDIMM X1, #0x123456789AB  ; pseudo: expands to MOVZ/MOVK sequence
+//	  MOV X2, X1                ; pseudo: ORR X2, XZR, X1
+//	  ADD X3, X2, X1
+//	  ADDI X3, X3, #8
+//	  LDR X4, [X3, #16]
+//	  STR X4, [X3]
+//	  CMP X3, X1                ; pseudo: SUBS XZR, X3, X1
+//	  CMPI X3, #0               ; pseudo: SUBSI XZR, X3, #0
+//	  B.NE label
+//	  CBZ X3, label
+//	  BL func
+//	  RET
+//	  DSB
+//	  ISB
+//	  MRS X5, RAMDATA0
+//	  MSR RAMINDEX, X5
+//	  DC ZVA, X6
+//	  DC CIVAC, X6
+//	  IC IALLU
+//	  VMOVI V0, #0xAA
+//	  VSTR V0, [X1, #32]
+//	  UMOV X7, V0, #1
+//	  INS V0, X7, #0
+//	  HLT #0
+//	  .word 0xDEADBEEF          ; literal data word
+//
+// LDIMM always expands to exactly four words (MOVZ + 3×MOVK) so that
+// label arithmetic stays stable between passes.
+func Assemble(base uint64, src string) ([]uint32, error) {
+	lines := strings.Split(src, "\n")
+
+	type item struct {
+		line  int
+		text  string
+		label string
+	}
+	var items []item
+	for i, raw := range lines {
+		text := raw
+		if idx := strings.Index(text, ";"); idx >= 0 {
+			text = text[:idx]
+		}
+		if idx := strings.Index(text, "//"); idx >= 0 {
+			text = text[:idx]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// A line may carry "label: instr".
+		for {
+			colon := strings.Index(text, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:colon])
+			if label == "" || strings.ContainsAny(label, " \t,[]#") {
+				break // ':' inside something else; leave to the parser to reject
+			}
+			items = append(items, item{line: i + 1, label: label})
+			text = strings.TrimSpace(text[colon+1:])
+		}
+		if text != "" {
+			items = append(items, item{line: i + 1, text: text})
+		}
+	}
+
+	// Pass 1: assign addresses to labels. Every instruction is 4 bytes;
+	// pseudo LDIMM is 16; .word is 4.
+	labels := map[string]uint64{}
+	pc := base
+	for _, it := range items {
+		if it.label != "" {
+			if _, dup := labels[it.label]; dup {
+				return nil, &AsmError{it.line, "duplicate label " + it.label}
+			}
+			labels[it.label] = pc
+			continue
+		}
+		n, err := wordCount(it.text)
+		if err != nil {
+			return nil, &AsmError{it.line, err.Error()}
+		}
+		pc += uint64(n) * 4
+	}
+
+	// Pass 2: encode.
+	var out []uint32
+	pc = base
+	for _, it := range items {
+		if it.label != "" {
+			continue
+		}
+		words, err := encodeLine(it.text, pc, labels)
+		if err != nil {
+			return nil, &AsmError{it.line, err.Error()}
+		}
+		out = append(out, words...)
+		pc += uint64(len(words)) * 4
+	}
+	return out, nil
+}
+
+// wordCount returns how many 32-bit words a source line assembles to.
+func wordCount(text string) (int, error) {
+	mn, _ := splitMnemonic(text)
+	switch mn {
+	case "LDIMM":
+		return 4, nil
+	default:
+		return 1, nil
+	}
+}
+
+func splitMnemonic(text string) (mnemonic, rest string) {
+	sp := strings.IndexAny(text, " \t")
+	if sp < 0 {
+		return strings.ToUpper(text), ""
+	}
+	return strings.ToUpper(text[:sp]), strings.TrimSpace(text[sp+1:])
+}
+
+// operands splits the operand list on commas, respecting [] bracketing.
+func operands(rest string) []string {
+	if rest == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(rest[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(rest[start:]))
+	return out
+}
+
+func parseXReg(s string) (int, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	if u == "XZR" {
+		return XZR, nil
+	}
+	if strings.HasPrefix(u, "X") {
+		n, err := strconv.Atoi(u[1:])
+		if err == nil && n >= 0 && n <= 30 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad X register %q", s)
+}
+
+func parseVReg(s string) (int, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	if strings.HasPrefix(u, "V") {
+		n, err := strconv.Atoi(u[1:])
+		if err == nil && n >= 0 && n <= 31 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad V register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	u := strings.TrimSpace(s)
+	if !strings.HasPrefix(u, "#") {
+		return 0, fmt.Errorf("immediate must start with '#': %q", s)
+	}
+	u = strings.TrimPrefix(u, "#")
+	neg := strings.HasPrefix(u, "-")
+	if neg {
+		u = u[1:]
+	}
+	v, err := strconv.ParseUint(u, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q: %v", s, err)
+	}
+	iv := int64(v)
+	if neg {
+		iv = -iv
+	}
+	return iv, nil
+}
+
+// parseMem parses "[Xn]" or "[Xn, #off]".
+func parseMem(s string) (rn int, off int64, err error) {
+	u := strings.TrimSpace(s)
+	if !strings.HasPrefix(u, "[") || !strings.HasSuffix(u, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(u[1 : len(u)-1])
+	parts := strings.SplitN(inner, ",", 2)
+	rn, err = parseXReg(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(parts) == 2 {
+		off, err = parseImm(parts[1])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return rn, off, nil
+}
+
+// branchTarget resolves a label or ".+n"/".-n" relative target to a word
+// displacement from pc.
+func branchTarget(s string, pc uint64, labels map[string]uint64) (int64, error) {
+	u := strings.TrimSpace(s)
+	if strings.HasPrefix(u, ".") {
+		n, err := strconv.ParseInt(u[1:], 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad relative target %q", s)
+		}
+		return n, nil
+	}
+	addr, ok := labels[u]
+	if !ok {
+		return 0, fmt.Errorf("undefined label %q", u)
+	}
+	diff := int64(addr) - int64(pc)
+	if diff%4 != 0 {
+		return 0, fmt.Errorf("misaligned branch target %q", u)
+	}
+	return diff / 4, nil
+}
+
+func encodeLine(text string, pc uint64, labels map[string]uint64) ([]uint32, error) {
+	mn, rest := splitMnemonic(text)
+	ops := operands(rest)
+	one := func(in Instr) ([]uint32, error) { return []uint32{in.Encode()}, nil }
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+
+	switch mn {
+	case ".WORD":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(ops[0], "#"), 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad .word value %q", ops[0])
+		}
+		return []uint32{uint32(v)}, nil
+
+	case "MOVZ", "MOVK", "MOVN":
+		if len(ops) != 2 && len(ops) != 3 {
+			return nil, fmt.Errorf("%s expects Xd, #imm16 [, LSL #shift]", mn)
+		}
+		rd, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		hw := 0
+		if len(ops) == 3 {
+			fields := strings.Fields(strings.ToUpper(ops[2]))
+			if len(fields) != 2 || fields[0] != "LSL" {
+				return nil, fmt.Errorf("%s: third operand must be 'LSL #shift', got %q", mn, ops[2])
+			}
+			shift, err := parseImm(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			if shift%16 != 0 || shift < 0 || shift > 48 {
+				return nil, fmt.Errorf("%s shift must be 0/16/32/48, got %d", mn, shift)
+			}
+			hw = int(shift / 16)
+		}
+		op := map[string]Op{"MOVZ": OpMOVZ, "MOVK": OpMOVK, "MOVN": OpMOVN}[mn]
+		if imm < 0 || imm > 0xFFFF {
+			return nil, fmt.Errorf("%s immediate out of 16-bit range: %d", mn, imm)
+		}
+		return one(Instr{Op: op, Rd: rd, Imm: imm, Hw: hw})
+
+	case "LDIMM":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		var val uint64
+		if strings.HasPrefix(strings.TrimSpace(ops[1]), "#") {
+			imm, err := parseImm(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			val = uint64(imm)
+		} else if addr, ok := labels[strings.TrimSpace(ops[1])]; ok {
+			val = addr
+		} else {
+			return nil, fmt.Errorf("LDIMM operand must be #imm or label, got %q", ops[1])
+		}
+		words := make([]uint32, 0, 4)
+		words = append(words, Instr{Op: OpMOVZ, Rd: rd, Imm: int64(val & 0xFFFF)}.Encode())
+		for hw := 1; hw < 4; hw++ {
+			chunk := int64(val >> (16 * uint(hw)) & 0xFFFF)
+			words = append(words, Instr{Op: OpMOVK, Rd: rd, Imm: chunk, Hw: hw}.Encode())
+		}
+		return words, nil
+
+	case "MOV":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(strings.TrimSpace(ops[1]), "#") {
+			imm, err := parseImm(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			if imm < 0 || imm > 0xFFFF {
+				return nil, fmt.Errorf("MOV immediate out of 16-bit range; use LDIMM")
+			}
+			return one(Instr{Op: OpMOVZ, Rd: rd, Imm: imm})
+		}
+		rm, err := parseXReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(Instr{Op: OpORR, Rd: rd, Rn: XZR, Rm: rm})
+
+	case "ADD", "SUB", "AND", "ORR", "EOR", "LSL", "LSR", "MUL", "SUBS", "ADDS":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rn, err := parseXReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseXReg(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		op := map[string]Op{
+			"ADD": OpADD, "SUB": OpSUB, "AND": OpAND, "ORR": OpORR, "EOR": OpEOR,
+			"LSL": OpLSLV, "LSR": OpLSRV, "MUL": OpMUL, "SUBS": OpSUBS, "ADDS": OpADDS,
+		}[mn]
+		return one(Instr{Op: op, Rd: rd, Rn: rn, Rm: rm})
+
+	case "VEOR":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		vd, err := parseVReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		vn, err := parseVReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		vm, err := parseVReg(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(Instr{Op: OpVEOR, Rd: vd, Rn: vn, Rm: vm})
+
+	case "ADDI", "SUBI", "SUBSI":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rn, err := parseXReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := parseImm(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		if imm < 0 || imm > 0xFFF {
+			return nil, fmt.Errorf("%s immediate out of 12-bit range: %d", mn, imm)
+		}
+		op := map[string]Op{"ADDI": OpADDI, "SUBI": OpSUBI, "SUBSI": OpSUBSI}[mn]
+		return one(Instr{Op: op, Rd: rd, Rn: rn, Imm: imm})
+
+	case "CMP":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rn, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rm, err := parseXReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(Instr{Op: OpSUBS, Rd: XZR, Rn: rn, Rm: rm})
+
+	case "CMPI":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rn, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if imm < 0 || imm > 0xFFF {
+			return nil, fmt.Errorf("CMPI immediate out of 12-bit range: %d", imm)
+		}
+		return one(Instr{Op: OpSUBSI, Rd: XZR, Rn: rn, Imm: imm})
+
+	case "LDR", "STR", "LDRW", "STRW", "LDRB", "STRB":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rn, off, err := parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		op := map[string]Op{
+			"LDR": OpLDR, "STR": OpSTR, "LDRW": OpLDRW,
+			"STRW": OpSTRW, "LDRB": OpLDRB, "STRB": OpSTRB,
+		}[mn]
+		sz := int64(accessSize(op))
+		if off%sz != 0 || off < 0 || off/sz > 0xFFF {
+			return nil, fmt.Errorf("%s offset %d invalid (must be 0..%d in steps of %d)", mn, off, 0xFFF*sz, sz)
+		}
+		return one(Instr{Op: op, Rd: rt, Rn: rn, Imm: off})
+
+	case "VLDR", "VSTR":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		vt, err := parseVReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rn, off, err := parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		op := OpVLDR
+		if mn == "VSTR" {
+			op = OpVSTR
+		}
+		if off%16 != 0 || off < 0 || off/16 > 0xFFF {
+			return nil, fmt.Errorf("%s offset %d invalid (16-byte aligned)", mn, off)
+		}
+		return one(Instr{Op: op, Rd: vt, Rn: rn, Imm: off})
+
+	case "B.EQ", "B.NE", "B.LT", "B.GE", "B.LO", "B.HS", "B.GT", "B.LE":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		var cond Cond
+		for c, name := range condNames {
+			if name == strings.TrimPrefix(mn, "B.") {
+				cond = c
+			}
+		}
+		disp, err := branchTarget(ops[0], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		return one(Instr{Op: OpBCond, Cond: cond, Imm: disp})
+
+	case "B", "BL":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		disp, err := branchTarget(ops[0], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		op := OpB
+		if mn == "BL" {
+			op = OpBL
+		}
+		return one(Instr{Op: op, Imm: disp})
+
+	case "CBZ", "CBNZ":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		disp, err := branchTarget(ops[1], pc, labels)
+		if err != nil {
+			return nil, err
+		}
+		op := OpCBZ
+		if mn == "CBNZ" {
+			op = OpCBNZ
+		}
+		return one(Instr{Op: op, Rd: rt, Imm: disp})
+
+	case "RET":
+		rn := 30
+		if len(ops) == 1 {
+			var err error
+			rn, err = parseXReg(ops[0])
+			if err != nil {
+				return nil, err
+			}
+		} else if len(ops) != 0 {
+			return nil, fmt.Errorf("RET takes at most one register")
+		}
+		return one(Instr{Op: OpRET, Rn: rn})
+
+	case "NOP":
+		return one(Instr{Op: OpNOP})
+	case "DSB":
+		return one(Instr{Op: OpDSB})
+	case "ISB":
+		return one(Instr{Op: OpISB})
+
+	case "HLT":
+		imm := int64(0)
+		if len(ops) == 1 {
+			var err error
+			imm, err = parseImm(ops[0])
+			if err != nil {
+				return nil, err
+			}
+		}
+		return one(Instr{Op: OpHLT, Imm: imm})
+
+	case "MRS":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		sys, ok := SysRegByName(strings.ToUpper(strings.TrimSpace(ops[1])))
+		if !ok {
+			return nil, fmt.Errorf("unknown system register %q", ops[1])
+		}
+		return one(Instr{Op: OpMRS, Rd: rd, Sys: sys})
+
+	case "MSR":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		sys, ok := SysRegByName(strings.ToUpper(strings.TrimSpace(ops[0])))
+		if !ok {
+			return nil, fmt.Errorf("unknown system register %q", ops[0])
+		}
+		rt, err := parseXReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(Instr{Op: OpMSR, Rd: rt, Sys: sys})
+
+	case "DC":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		kind := strings.ToUpper(strings.TrimSpace(ops[0]))
+		rt, err := parseXReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "ZVA":
+			return one(Instr{Op: OpDCZVA, Rd: rt})
+		case "CIVAC":
+			return one(Instr{Op: OpDCCIVAC, Rd: rt})
+		default:
+			return nil, fmt.Errorf("unsupported DC operation %q", kind)
+		}
+
+	case "IC":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if strings.ToUpper(strings.TrimSpace(ops[0])) != "IALLU" {
+			return nil, fmt.Errorf("unsupported IC operation %q", ops[0])
+		}
+		return one(Instr{Op: OpICIALLU})
+
+	case "VMOVI":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		vd, err := parseVReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if imm < 0 || imm > 0xFF {
+			return nil, fmt.Errorf("VMOVI immediate out of byte range: %d", imm)
+		}
+		return one(Instr{Op: OpVMOVI, Rd: vd, Imm: imm})
+
+	case "UMOV":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseXReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		vn, err := parseVReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		idx, err := parseImm(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		if idx < 0 || idx > 1 {
+			return nil, fmt.Errorf("UMOV lane must be 0 or 1")
+		}
+		return one(Instr{Op: OpUMOV, Rd: rd, Rn: vn, Idx: int(idx)})
+
+	case "INS":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		vd, err := parseVReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rn, err := parseXReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		idx, err := parseImm(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		if idx < 0 || idx > 1 {
+			return nil, fmt.Errorf("INS lane must be 0 or 1")
+		}
+		return one(Instr{Op: OpINS, Rd: vd, Rn: rn, Idx: int(idx)})
+
+	default:
+		return nil, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+}

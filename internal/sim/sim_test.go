@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2µs"},
+		{3 * Millisecond, "3ms"},
+		{1500 * Millisecond, "1.5s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds() = %v", got)
+	}
+	if got := (5 * Millisecond).Milliseconds(); got != 5 {
+		t.Errorf("Milliseconds() = %v", got)
+	}
+}
+
+func TestCelsiusToKelvin(t *testing.T) {
+	if got := CelsiusToKelvin(-40); math.Abs(got-233.15) > 1e-9 {
+		t.Errorf("CelsiusToKelvin(-40) = %v", got)
+	}
+	if got := CelsiusToKelvin(0); math.Abs(got-273.15) > 1e-9 {
+		t.Errorf("CelsiusToKelvin(0) = %v", got)
+	}
+}
+
+func TestEnvClock(t *testing.T) {
+	e := NewEnv()
+	if e.Now() != 0 {
+		t.Fatal("fresh env must start at time 0")
+	}
+	e.Advance(5 * Millisecond)
+	e.Advance(3 * Microsecond)
+	if e.Now() != 5*Millisecond+3*Microsecond {
+		t.Fatalf("Now() = %v", e.Now())
+	}
+}
+
+func TestEnvAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative Advance")
+		}
+	}()
+	NewEnv().Advance(-1)
+}
+
+func TestEnvTemperature(t *testing.T) {
+	e := NewEnv()
+	if e.TemperatureC() != 25 {
+		t.Fatalf("default temperature = %v, want 25", e.TemperatureC())
+	}
+	e.SetTemperatureC(-40)
+	if e.TemperatureC() != -40 {
+		t.Fatalf("temperature = %v", e.TemperatureC())
+	}
+	if math.Abs(e.TemperatureK()-233.15) > 1e-9 {
+		t.Fatalf("TemperatureK = %v", e.TemperatureK())
+	}
+	if e.Log().Len() == 0 {
+		t.Fatal("temperature change should be logged")
+	}
+}
+
+func TestEventLogOrderingAndFilter(t *testing.T) {
+	l := NewEventLog()
+	l.Add(1, "pmic", "a")
+	l.Add(2, "probe", "b")
+	l.Add(3, "pmic", "c")
+	evs := l.Events()
+	if len(evs) != 3 || evs[0].Message != "a" || evs[2].Message != "c" {
+		t.Fatalf("unexpected events: %v", evs)
+	}
+	pmic := l.Filter("pmic")
+	if len(pmic) != 2 || pmic[1].Message != "c" {
+		t.Fatalf("Filter(pmic) = %v", pmic)
+	}
+	subs := l.Subsystems()
+	if len(subs) != 2 || subs[0] != "pmic" || subs[1] != "probe" {
+		t.Fatalf("Subsystems() = %v", subs)
+	}
+}
+
+func TestEventLogEventsIsCopy(t *testing.T) {
+	l := NewEventLog()
+	l.Add(1, "x", "orig")
+	evs := l.Events()
+	evs[0].Message = "mutated"
+	if l.Events()[0].Message != "orig" {
+		t.Fatal("Events() must return a copy")
+	}
+}
+
+func TestEnvLogf(t *testing.T) {
+	e := NewEnv()
+	e.Advance(7 * Microsecond)
+	e.Logf("attack", "step %d: %s", 2, "attach probe")
+	evs := e.Log().Events()
+	if len(evs) != 1 {
+		t.Fatalf("expected 1 event, got %d", len(evs))
+	}
+	if evs[0].At != 7*Microsecond {
+		t.Fatalf("event timestamp = %v", evs[0].At)
+	}
+	if !strings.Contains(evs[0].Message, "step 2: attach probe") {
+		t.Fatalf("event message = %q", evs[0].Message)
+	}
+	if !strings.Contains(e.Log().String(), "attach probe") {
+		t.Fatal("log String() should contain the message")
+	}
+}

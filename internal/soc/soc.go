@@ -1,0 +1,771 @@
+// Package soc assembles the simulated systems-on-chip the Volt Boot
+// reproduction attacks: CPU cores (interpreted VBA64), SRAM-backed L1/L2
+// caches and register files, iRAM, boot ROM behaviour, a DRAM-backed
+// memory system, the separated power domains of Figure 2, and the §8
+// countermeasure knobs.
+//
+// The package is deliberately device-accurate where the paper depends on
+// device behaviour: Broadcom parts boot their VideoCore first (clobbering
+// the shared L2 but never the software-enabled L1s — §6.2), the i.MX53
+// boots from mask ROM using part of its iRAM as scratchpad (Figure 10's
+// error clusters), and boot firmware dirties the general-purpose
+// registers but never the vector registers (§7.2).
+package soc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/sram"
+	"repro/internal/xrand"
+)
+
+// Options are the §8 countermeasure switches, all off by default (the
+// paper's measured reality: "hardware memory reset at boot-phase is
+// uncommon").
+type Options struct {
+	// MBISTReset zeroes every on-chip SRAM array during boot, the
+	// hardware-driven reset the paper recommends.
+	MBISTReset bool
+	// PowerToggleReset internally toggles SRAM power at reset, erasing
+	// contents to the fingerprint state regardless of external probes.
+	PowerToggleReset bool
+	// TrustZone enforces NS-bit checks on RAMINDEX reads and pins
+	// externally booted payloads in the non-secure state.
+	TrustZone bool
+	// AuthenticatedBoot refuses boot images that are not signed with the
+	// OEM key, removing the attacker's post-reboot extraction vehicle.
+	AuthenticatedBoot bool
+	// TCGReset implements the TCG Platform Reset Attack Mitigation the
+	// paper cites against BootJacker-style warm reboots: firmware wipes
+	// main memory on any boot that was not preceded by an orderly
+	// shutdown. It protects DRAM only — on-chip SRAM is out of its
+	// reach, which is part of Volt Boot's point.
+	TCGReset bool
+}
+
+// Core bundles one CPU with its private caches, register file and
+// microarchitectural buffers.
+type Core struct {
+	ID      int
+	CPU     *isa.CPU
+	L1I     *cache.Cache
+	L1D     *cache.Cache
+	RegFile *RegFile
+	// TLB and BTB are small SRAM-backed history buffers in the core
+	// power domain, readable via RAMINDEX like every other internal RAM.
+	// TLB entries record recently translated page numbers; BTB entries
+	// record recent branch targets. Both fill organically as the core
+	// runs — and both survive a Volt Boot power cycle, leaking the
+	// victim's access pattern (Ablation E).
+	TLB *sram.Array
+	BTB *sram.Array
+	// lastFetch detects non-sequential fetches (taken branches) for BTB
+	// updates. Microarchitectural flop, not SRAM.
+	lastFetch uint64
+}
+
+// TLB/BTB geometry: entry counts are powers of two, 8 bytes per entry.
+const (
+	tlbEntries = 64
+	btbEntries = 256
+)
+
+// BootImage is a payload offered to the boot chain (a kernel on USB mass
+// storage for the Pis; irrelevant for i.MX53-style internal boot, whose
+// attack path is JTAG).
+type BootImage struct {
+	// Words is the machine code, loaded at LoadAddr.
+	Words []uint32
+	// LoadAddr and Entry default to PayloadBase when zero.
+	LoadAddr uint64
+	Entry    uint64
+	// EnableCaches asks the image's startup stub to invalidate and enable
+	// the L1 caches before Entry runs. Victim software wants this;
+	// extraction payloads leave it false so retained cache contents stay
+	// untouched (§6.1 step 3A).
+	EnableCaches bool
+	// TrustedWorld asks to run in the TrustZone secure world. Under the
+	// TrustZone countermeasure this requires a valid OEM Signature;
+	// anything else (an attacker's USB payload) is pinned non-secure.
+	TrustedWorld bool
+	// Signature authenticates the image under the SoC's OEM key when
+	// AuthenticatedBoot is enforced or TrustedWorld is requested.
+	Signature uint64
+}
+
+// ErrUnsignedImage is returned by Boot when authenticated boot rejects a
+// payload.
+var ErrUnsignedImage = errors.New("soc: boot image signature invalid")
+
+// ErrUnpowered is returned by Boot when the core domain is down.
+var ErrUnpowered = errors.New("soc: cannot boot: core domain unpowered")
+
+// SoC is one simulated system-on-chip instance.
+type SoC struct {
+	Env  *sim.Env
+	Spec DeviceSpec
+	Opts Options
+
+	Cores []*Core
+	// L2 is the shared second-level cache.
+	L2 *cache.Cache
+	// IRAM is the on-chip RAM (nil unless the spec has one).
+	IRAM *sram.Array
+	// DRAM is main memory.
+	DRAM *dram.Module
+
+	// CoreDom and MemDom are the SRAM-relevant power domains; IODom
+	// exists for Figure 2 completeness.
+	CoreDom, MemDom, IODom *power.Domain
+
+	rom []byte
+
+	seed      uint64
+	oemKey    uint64
+	bootCount int
+	// orderlyDown is set by OrderlyShutdown and consumed by the next
+	// Boot: the TCG reset mitigation skips its wipe only after a clean
+	// shutdown.
+	orderlyDown bool
+	// barriers counts DSB/ISB executions (the §6.1 payload requirement).
+	barriers uint64
+}
+
+var _ isa.Bus = (*SoC)(nil)
+var _ isa.SysOps = (*SoC)(nil)
+
+// New builds an SoC from its spec. All SRAM arrays are created and
+// attached to the appropriate power domains; everything starts unpowered
+// until a board (or test) raises the domains.
+func New(env *sim.Env, spec DeviceSpec, opts Options, seed uint64) (*SoC, error) {
+	s := &SoC{Env: env, Spec: spec, Opts: opts, seed: seed}
+	kst := seed
+	s.oemKey = xrand.SplitMix64(&kst) ^ 0x0EA0_0EA0_0EA0_0EA0
+
+	s.CoreDom = power.NewDomain(env, spec.CoreDomainName, spec.CoreVolts, true)
+	s.MemDom = power.NewDomain(env, spec.MemDomainName, spec.MemVolts, false)
+	s.IODom = power.NewDomain(env, "VDD_IO", 3.3, false)
+
+	model := sram.DefaultRetentionModel()
+	s.DRAM = dram.NewModule(env, spec.SoCName+".dram", spec.DRAMBytes, dram.DefaultRetentionModel(), seed)
+	s.DRAM.PowerOff() // until the memory domain comes up
+	s.MemDom.Attach(&dramLoad{mod: s.DRAM, minVolts: spec.MemVolts * 0.9})
+
+	if spec.L2.Ways > 0 {
+		l2, err := cache.New(env, spec.L2, model, seed, s.DRAM)
+		if err != nil {
+			return nil, err
+		}
+		s.L2 = l2
+		for _, a := range l2.Arrays() {
+			s.MemDom.Attach(a)
+		}
+	}
+
+	if spec.IRAMBytes > 0 {
+		s.IRAM = sram.NewArray(env, spec.SoCName+".iram", spec.IRAMBytes*8, model, seed)
+		s.MemDom.Attach(s.IRAM)
+	}
+
+	var l1Backing cache.Backing = s.DRAM
+	if s.L2 != nil {
+		l1Backing = s.L2
+	}
+	for i := 0; i < spec.Cores; i++ {
+		l1dCfg := spec.L1D
+		l1dCfg.Name = fmt.Sprintf("core%d.%s", i, spec.L1D.Name)
+		l1iCfg := spec.L1I
+		l1iCfg.Name = fmt.Sprintf("core%d.%s", i, spec.L1I.Name)
+		coreSeed := seed + uint64(i)*0x1000
+		l1d, err := cache.New(env, l1dCfg, model, coreSeed, l1Backing)
+		if err != nil {
+			return nil, err
+		}
+		l1i, err := cache.New(env, l1iCfg, model, coreSeed+1, l1Backing)
+		if err != nil {
+			return nil, err
+		}
+		regArr := sram.NewArray(env, fmt.Sprintf("core%d.regfile", i), regfileBytes*8, model, coreSeed+2)
+		rf := NewRegFile(regArr)
+		core := &Core{ID: i, L1I: l1i, L1D: l1d, RegFile: rf}
+		core.TLB = sram.NewArray(env, fmt.Sprintf("core%d.tlb", i), tlbEntries*64, model, coreSeed+3)
+		core.BTB = sram.NewArray(env, fmt.Sprintf("core%d.btb", i), btbEntries*64, model, coreSeed+4)
+		core.CPU = isa.NewCPU(i, rf, s, s)
+		s.Cores = append(s.Cores, core)
+
+		dom := s.CoreDom
+		if !spec.L1InCoreDomain {
+			dom = s.MemDom
+		}
+		for _, a := range l1d.Arrays() {
+			dom.Attach(a)
+		}
+		for _, a := range l1i.Arrays() {
+			dom.Attach(a)
+		}
+		s.CoreDom.Attach(regArr)
+		s.CoreDom.Attach(core.TLB)
+		s.CoreDom.Attach(core.BTB)
+	}
+
+	// Mask ROM contents: deterministic firmware bytes (nonvolatile).
+	s.rom = make([]byte, 64*1024)
+	xrand.Derive(seed, "bootrom").Bytes(s.rom)
+
+	return s, nil
+}
+
+// dramLoad adapts the DRAM module to the power.Load interface: DRAM needs
+// most of its nominal rail to refresh; below that it is off and decaying.
+type dramLoad struct {
+	mod      *dram.Module
+	minVolts float64
+}
+
+func (d *dramLoad) Name() string { return d.mod.Name() }
+
+func (d *dramLoad) SetRail(v float64) {
+	if v >= d.minVolts {
+		d.mod.PowerOn()
+	} else {
+		d.mod.PowerOff()
+	}
+}
+
+// Powered reports whether the core domain is up.
+func (s *SoC) Powered() bool {
+	return s.CoreDom.Volts() >= s.Spec.CoreVolts*0.9
+}
+
+// SignImage computes the OEM signature for a boot image — available to
+// the legitimate vendor, not to the attacker.
+func (s *SoC) SignImage(img *BootImage) uint64 {
+	h := s.oemKey
+	h ^= img.LoadAddr * 0x9E3779B97F4A7C15
+	h ^= img.Entry * 0xC2B2AE3D27D4EB4F
+	for _, w := range img.Words {
+		h ^= uint64(w)
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// Boot runs the device's boot chain and hands control of every core to
+// the image: clobber/reset steps the hardware performs, firmware's use of
+// the general-purpose registers, VideoCore or ROM scratchpad effects, and
+// the payload load. The cores are left Reset at the entry point; run them
+// with RunCore.
+func (s *SoC) Boot(img *BootImage) error {
+	if !s.Powered() {
+		return ErrUnpowered
+	}
+	s.bootCount++
+	s.Env.Logf("boot", "%s boot #%d", s.Spec.SoCName, s.bootCount)
+
+	if s.Opts.PowerToggleReset {
+		// The SoC gates each SRAM macro's internal supply off and on
+		// again during reset. An external probe holds the *pin*, but the
+		// gate sits behind it, so contents are lost regardless.
+		s.Env.Logf("boot", "power-toggle reset of all on-chip SRAM")
+		for _, a := range s.allArrays() {
+			restore := a.RailVolts()
+			a.SetRail(0)
+			s.Env.Advance(1 * sim.Millisecond)
+			a.SetRail(restore)
+		}
+	}
+	if s.Opts.MBISTReset {
+		s.Env.Logf("boot", "MBIST zeroization of all on-chip SRAM")
+		for _, a := range s.allArrays() {
+			if a.Powered() {
+				a.Fill(0)
+			}
+		}
+	}
+
+	if img != nil && s.Opts.AuthenticatedBoot && img.Signature != s.SignImage(img) {
+		s.Env.Logf("boot", "authenticated boot REJECTED unsigned image")
+		return ErrUnsignedImage
+	}
+	// Secure-world entry always requires the OEM signature when TrustZone
+	// is enforced, independent of the full authenticated-boot policy.
+	secureWorld := img != nil && img.TrustedWorld
+	if secureWorld && s.Opts.TrustZone && img.Signature != s.SignImage(img) {
+		s.Env.Logf("boot", "secure-world entry REJECTED: unsigned image")
+		return ErrUnsignedImage
+	}
+
+	// VideoCore initialization (Broadcom): the video core runs its own
+	// firmware out of the shared L2, clobbering whatever it held (§6.2).
+	if s.Spec.HasVideoCore && s.L2 != nil && s.MemDom.Volts() > 0 {
+		junk := xrand.Derive(s.seed+uint64(s.bootCount), "videocore")
+		for w := 0; w < s.Spec.L2.Ways; w++ {
+			buf := make([]byte, s.L2.WayBytes())
+			junk.Bytes(buf)
+			// The video core's working set lands in the data RAMs via
+			// ordinary allocation; writing the arrays directly models the
+			// net effect on retained contents.
+			s.L2.Arrays()[w].WriteBytes(0, buf)
+		}
+		s.L2.InvalidateAll()
+		s.L2.SetEnabled(true)
+		s.Env.Logf("boot", "VideoCore init clobbered L2 (%d KB)", s.Spec.L2.SizeBytes/1024)
+	}
+
+	// Internal boot ROM scratchpad (i.MX53): parts of the iRAM are
+	// overwritten before any debugger or external code can look (§6.2).
+	if s.IRAM != nil && s.MemDom.Volts() > 0 {
+		scratch := xrand.Derive(s.seed+uint64(s.bootCount), "romscratch")
+		for _, r := range s.Spec.BootROMClobbers {
+			buf := make([]byte, r.Len())
+			scratch.Bytes(buf)
+			s.IRAM.WriteBytes(r.Start, buf)
+		}
+		if len(s.Spec.BootROMClobbers) > 0 {
+			s.Env.Logf("boot", "boot ROM scratchpad clobbered %d iRAM ranges", len(s.Spec.BootROMClobbers))
+		}
+	}
+
+	// TCG reset mitigation: wipe DRAM unless the previous power-down was
+	// orderly. Abrupt disconnects and forced warm reboots both trip it.
+	if s.Opts.TCGReset && !s.orderlyDown && s.DRAM.Powered() {
+		s.Env.Logf("boot", "TCG reset mitigation: wiping %d MB DRAM", s.Spec.DRAMBytes/(1<<20))
+		s.DRAM.Write(0, make([]byte, s.Spec.DRAMBytes))
+		if s.L2 != nil {
+			// The wipe goes through the memory system; stale L2 lines
+			// would resurrect old data, so firmware flushes it too.
+			s.L2.InvalidateAll()
+		}
+	}
+	s.orderlyDown = false
+
+	if img == nil {
+		return nil
+	}
+
+	load := img.LoadAddr
+	if load == 0 {
+		load = PayloadBase
+	}
+	entry := img.Entry
+	if entry == 0 {
+		entry = load
+	}
+	// Firmware copies the payload into DRAM through the uncached path.
+	for i, w := range img.Words {
+		a := load + uint64(i)*4
+		if err := s.writeDRAMDirect(a, w); err != nil {
+			return fmt.Errorf("soc: loading payload: %w", err)
+		}
+	}
+
+	// Boot firmware runs on each core before the payload: it uses the
+	// general-purpose registers freely (clobbering whatever survived the
+	// power cycle) but never touches the vector registers — §7.2's
+	// enabler.
+	junk := xrand.Derive(s.seed+uint64(s.bootCount), "firmware-regs")
+	for _, core := range s.Cores {
+		for i := 0; i < 31; i++ {
+			core.CPU.Regs.WriteX(i, junk.Uint64())
+		}
+		core.CPU.Reset(entry)
+		core.CPU.NSLocked = s.Opts.TrustZone && !secureWorld
+		if img.EnableCaches {
+			core.L1D.InvalidateAll()
+			core.L1I.InvalidateAll()
+			core.L1D.SetEnabled(true)
+			core.L1I.SetEnabled(true)
+		} else {
+			core.L1D.SetEnabled(false)
+			core.L1I.SetEnabled(false)
+		}
+	}
+	s.Env.Logf("boot", "payload loaded at %#x entry %#x caches=%v", load, entry, img.EnableCaches)
+	return nil
+}
+
+// allArrays enumerates every on-chip SRAM array.
+func (s *SoC) allArrays() []*sram.Array {
+	var out []*sram.Array
+	for _, c := range s.Cores {
+		out = append(out, c.L1D.Arrays()...)
+		out = append(out, c.L1I.Arrays()...)
+		out = append(out, c.RegFile.Array(), c.TLB, c.BTB)
+	}
+	if s.L2 != nil {
+		out = append(out, s.L2.Arrays()...)
+	}
+	if s.IRAM != nil {
+		out = append(out, s.IRAM)
+	}
+	return out
+}
+
+// RunCore executes core id until it halts or maxInstr retire.
+func (s *SoC) RunCore(id int, maxInstr uint64) error {
+	if id < 0 || id >= len(s.Cores) {
+		return fmt.Errorf("soc: core %d out of range", id)
+	}
+	_, err := s.Cores[id].CPU.Run(maxInstr)
+	return err
+}
+
+// RunAllCores executes every core in turn (the interpreter is in-order
+// and the experiments' cores share only the L2, so sequential execution
+// is equivalent for them).
+func (s *SoC) RunAllCores(maxInstr uint64) error {
+	for _, c := range s.Cores {
+		if _, err := c.CPU.Run(maxInstr); err != nil {
+			return fmt.Errorf("soc: core %d: %w", c.ID, err)
+		}
+	}
+	return nil
+}
+
+// OrderlyShutdown is the software power-down path: it purges residual
+// secrets (DC ZVA over the d-caches, invalidate i-caches, zero registers)
+// before power is expected to drop. Volt Boot's abrupt disconnect is
+// precisely the path that skips this (§8 "purging residual memory").
+func (s *SoC) OrderlyShutdown() {
+	s.Env.Logf("soc", "orderly shutdown: purging on-chip memories")
+	for _, c := range s.Cores {
+		for _, arr := range c.L1D.Arrays() {
+			if arr.Powered() {
+				arr.Fill(0)
+			}
+		}
+		for _, arr := range c.L1I.Arrays() {
+			if arr.Powered() {
+				arr.Fill(0)
+			}
+		}
+		if c.RegFile.Array().Powered() {
+			c.RegFile.Array().Fill(0)
+		}
+	}
+	if s.IRAM != nil && s.IRAM.Powered() {
+		s.IRAM.Fill(0)
+	}
+	s.orderlyDown = true
+}
+
+// --- address routing -----------------------------------------------------
+
+func (s *SoC) inDRAM(addr uint64) bool { return addr < uint64(s.Spec.DRAMBytes) }
+
+func (s *SoC) inIRAM(addr uint64) bool {
+	return s.IRAM != nil && addr >= s.Spec.IRAMBase &&
+		addr < s.Spec.IRAMBase+uint64(s.Spec.IRAMBytes)
+}
+
+func (s *SoC) inROM(addr uint64) bool {
+	return addr >= ROMBase && addr < ROMBase+uint64(len(s.rom))
+}
+
+func (s *SoC) writeDRAMDirect(addr uint64, w uint32) error {
+	if !s.inDRAM(addr) {
+		return fmt.Errorf("soc: payload address %#x outside DRAM", addr)
+	}
+	s.DRAM.Write(int(addr), []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)})
+	return nil
+}
+
+// FetchInstr implements isa.Bus: instruction fetches go through the
+// core's L1I for cacheable memory.
+func (s *SoC) FetchInstr(core int, addr uint64) (uint32, error) {
+	v, err := s.access(core, addr, 4, false, 0, true)
+	return uint32(v), err
+}
+
+// Load implements isa.Bus.
+func (s *SoC) Load(core int, addr uint64, size int) (uint64, error) {
+	return s.access(core, addr, size, false, 0, false)
+}
+
+// Store implements isa.Bus.
+func (s *SoC) Store(core int, addr uint64, size int, v uint64) error {
+	_, err := s.access(core, addr, size, true, v, false)
+	return err
+}
+
+// Load128 implements isa.Bus.
+func (s *SoC) Load128(core int, addr uint64) ([2]uint64, error) {
+	lo, err := s.access(core, addr, 8, false, 0, false)
+	if err != nil {
+		return [2]uint64{}, err
+	}
+	hi, err := s.access(core, addr+8, 8, false, 0, false)
+	return [2]uint64{lo, hi}, err
+}
+
+// Store128 implements isa.Bus.
+func (s *SoC) Store128(core int, addr uint64, v [2]uint64) error {
+	if _, err := s.access(core, addr, 8, true, v[0], false); err != nil {
+		return err
+	}
+	_, err := s.access(core, addr+8, 8, true, v[1], false)
+	return err
+}
+
+func (s *SoC) access(core int, addr uint64, size int, write bool, wdata uint64, ifetch bool) (uint64, error) {
+	if core < 0 || core >= len(s.Cores) {
+		return 0, fmt.Errorf("soc: core %d out of range", core)
+	}
+	c := s.Cores[core]
+	if s.inDRAM(addr) || s.inIRAM(addr) {
+		s.updateHistoryBuffers(c, addr, ifetch)
+	}
+	switch {
+	case s.inDRAM(addr):
+		which := c.L1D
+		if ifetch {
+			which = c.L1I
+		}
+		if !which.Enabled() {
+			// Architecturally, an access with the L1 off goes straight to
+			// the next level: the L2 when enabled, else memory. (Routing
+			// here rather than through the cache's line-granular bypass
+			// keeps uncached extraction payloads fast.)
+			if s.L2 != nil && s.L2.Enabled() {
+				return s.L2.Access(addr, size, write, wdata, c.CPU.Secure())
+			}
+			if write {
+				buf := make([]byte, size)
+				for i := range buf {
+					buf[i] = byte(wdata >> (8 * i))
+				}
+				s.DRAM.Write(int(addr), buf)
+				return 0, nil
+			}
+			buf := s.DRAM.Read(int(addr), size)
+			var v uint64
+			for i, b := range buf {
+				v |= uint64(b) << (8 * i)
+			}
+			return v, nil
+		}
+		return which.Access(addr, size, write, wdata, c.CPU.Secure())
+	case s.inIRAM(addr):
+		// OCRAM is treated as non-cacheable device memory; JTAG and CPU
+		// share one coherent view.
+		off := int(addr - s.Spec.IRAMBase)
+		if off+size > s.Spec.IRAMBytes {
+			return 0, fmt.Errorf("soc: iRAM access at %#x size %d out of range", addr, size)
+		}
+		if write {
+			buf := make([]byte, size)
+			for i := range buf {
+				buf[i] = byte(wdata >> (8 * i))
+			}
+			s.IRAM.WriteBytes(off, buf)
+			return 0, nil
+		}
+		buf := s.IRAM.ReadBytes(off, size)
+		var v uint64
+		for i, b := range buf {
+			v |= uint64(b) << (8 * i)
+		}
+		return v, nil
+	case s.inROM(addr):
+		if write {
+			return 0, fmt.Errorf("soc: write to mask ROM at %#x", addr)
+		}
+		off := int(addr - ROMBase)
+		if off+size > len(s.rom) {
+			return 0, fmt.Errorf("soc: ROM access at %#x size %d out of range", addr, size)
+		}
+		var v uint64
+		for i := 0; i < size; i++ {
+			v |= uint64(s.rom[off+i]) << (8 * i)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("soc: unmapped address %#x", addr)
+	}
+}
+
+// updateHistoryBuffers records the access in the core's TLB (page
+// translations) and, for non-sequential fetches, the BTB (branch
+// targets). Entry format: bit 0 = valid, bits [63:1] = page number or
+// target word address. These writes model the hardware's own bookkeeping,
+// which is why the buffers hold victim history when the attacker arrives.
+func (s *SoC) updateHistoryBuffers(c *Core, addr uint64, ifetch bool) {
+	if c.TLB.Powered() {
+		page := addr >> 12
+		c.TLB.WriteUint64(int(page%tlbEntries)*8, page<<1|1)
+	}
+	if ifetch {
+		if c.BTB.Powered() && c.lastFetch != 0 && addr != c.lastFetch+4 {
+			slot := int(c.lastFetch >> 2 % btbEntries)
+			c.BTB.WriteUint64(slot*8, addr<<1|1)
+		}
+		c.lastFetch = addr
+	}
+}
+
+// --- isa.SysOps ----------------------------------------------------------
+
+// DCZVA implements isa.SysOps.
+func (s *SoC) DCZVA(core int, addr uint64) error {
+	if !s.inDRAM(addr) {
+		return fmt.Errorf("soc: DC ZVA outside cacheable memory at %#x", addr)
+	}
+	c := s.Cores[core]
+	return c.L1D.ZeroLineVA(addr, c.CPU.Secure())
+}
+
+// DCCIVAC implements isa.SysOps.
+func (s *SoC) DCCIVAC(core int, addr uint64) error {
+	if !s.inDRAM(addr) {
+		return fmt.Errorf("soc: DC CIVAC outside cacheable memory at %#x", addr)
+	}
+	return s.Cores[core].L1D.CleanInvalidateVA(addr)
+}
+
+// ICIALLU implements isa.SysOps.
+func (s *SoC) ICIALLU(core int) {
+	s.Cores[core].L1I.InvalidateAll()
+}
+
+// Barrier implements isa.SysOps (DSB/ISB). The interpreter is in-order;
+// the count documents that payloads issue the barriers §6.1 requires.
+func (s *SoC) Barrier(core int) { s.barriers++ }
+
+// BarrierCount returns the number of barriers executed so far.
+func (s *SoC) BarrierCount() uint64 { return s.barriers }
+
+// RAMIndexRead implements isa.SysOps: the CP15/RAMINDEX debug read of
+// cache-internal RAMs (§2.1, §6.1). Requires EL3; with the TrustZone
+// countermeasure, valid secure lines are unreadable from the non-secure
+// state.
+func (s *SoC) RAMIndexRead(core int, req uint64, el int) (uint64, bool) {
+	if el < 3 {
+		return 0, true
+	}
+	ramID, way, word := isa.UnpackRAMIndex(req)
+	c := s.Cores[core]
+
+	// TLB/BTB reads: flat arrays, way ignored.
+	if ramID == isa.RAMIDTLB || ramID == isa.RAMIDBTB {
+		arr := c.TLB
+		entries := tlbEntries
+		if ramID == isa.RAMIDBTB {
+			arr, entries = c.BTB, btbEntries
+		}
+		if word < 0 || word >= entries {
+			return 0, true
+		}
+		return arr.ReadUint64(word * 8), false
+	}
+
+	var target *cache.Cache
+	var tagRead bool
+	switch ramID {
+	case isa.RAMIDL1IData:
+		target = c.L1I
+	case isa.RAMIDL1ITag:
+		target, tagRead = c.L1I, true
+	case isa.RAMIDL1DData:
+		target = c.L1D
+	case isa.RAMIDL1DTag:
+		target, tagRead = c.L1D, true
+	case isa.RAMIDL2Data:
+		target = s.L2
+	case isa.RAMIDL2Tag:
+		target, tagRead = s.L2, true
+	}
+	if target == nil {
+		return 0, true
+	}
+	if tagRead {
+		v, err := target.RAMIndexTag(way, word)
+		if err != nil {
+			return 0, true
+		}
+		return v, false
+	}
+	if s.Opts.TrustZone && target.SecureLineAt(way, word) && !c.CPU.Secure() {
+		s.Env.Logf("tz", "RAMINDEX to secure line denied (core %d, way %d, word %d)", core, way, word)
+		return 0, true
+	}
+	v, err := target.RAMIndexData(way, word)
+	if err != nil {
+		return 0, true
+	}
+	return v, false
+}
+
+// --- JTAG ----------------------------------------------------------------
+
+// ErrNoJTAG is returned for debug-port operations on parts without one.
+var ErrNoJTAG = errors.New("soc: device has no JTAG port")
+
+// JTAGReadIRAM reads n bytes of iRAM at offset off through the debug
+// port — the i.MX53 extraction path (§7.3).
+func (s *SoC) JTAGReadIRAM(off, n int) ([]byte, error) {
+	if !s.Spec.HasJTAG {
+		return nil, ErrNoJTAG
+	}
+	if s.IRAM == nil || !s.IRAM.Powered() {
+		return nil, errors.New("soc: iRAM unpowered")
+	}
+	if off < 0 || n < 0 || off+n > s.Spec.IRAMBytes {
+		return nil, fmt.Errorf("soc: JTAG read %d+%d out of %d-byte iRAM", off, n, s.Spec.IRAMBytes)
+	}
+	return s.IRAM.ReadBytes(off, n), nil
+}
+
+// JTAGWriteIRAM writes data to iRAM through the debug port.
+func (s *SoC) JTAGWriteIRAM(off int, data []byte) error {
+	if !s.Spec.HasJTAG {
+		return ErrNoJTAG
+	}
+	if s.IRAM == nil || !s.IRAM.Powered() {
+		return errors.New("soc: iRAM unpowered")
+	}
+	if off < 0 || off+len(data) > s.Spec.IRAMBytes {
+		return fmt.Errorf("soc: JTAG write %d+%d out of %d-byte iRAM", off, len(data), s.Spec.IRAMBytes)
+	}
+	s.IRAM.WriteBytes(off, data)
+	return nil
+}
+
+// ReadDRAM reads main memory coherently — through the shared L2 when one
+// is present, so dirty lines a payload just wrote are visible. This is
+// the experiment harness's view of what a payload exfiltrated; real
+// attackers pull the same bytes over UART/SD. For the *physical* cell
+// contents (cold boot experiments) read s.DRAM directly.
+func (s *SoC) ReadDRAM(off, n int) []byte {
+	if s.L2 == nil {
+		return s.DRAM.Read(off, n)
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		v, err := s.L2.Access(uint64(off+i), 1, false, 0, false)
+		if err != nil {
+			panic(fmt.Sprintf("soc: coherent DRAM read at %#x: %v", off+i, err))
+		}
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// WriteDRAM writes main memory coherently (used by the harness to stage
+// victim data).
+func (s *SoC) WriteDRAM(off int, b []byte) {
+	if s.L2 == nil {
+		s.DRAM.Write(off, b)
+		return
+	}
+	for i, v := range b {
+		if _, err := s.L2.Access(uint64(off+i), 1, true, uint64(v), false); err != nil {
+			panic(fmt.Sprintf("soc: coherent DRAM write at %#x: %v", off+i, err))
+		}
+	}
+}

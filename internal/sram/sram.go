@@ -1,0 +1,416 @@
+// Package sram models embedded 6T SRAM arrays at the fidelity the Volt
+// Boot attack cares about: whether each cell's state survives a given
+// excursion of its supply rail, and what value the cell powers up into
+// when it does not.
+//
+// The model captures four physical facts from the paper (§2.1, §3, §5):
+//
+//  1. A cell retains its state as long as its rail voltage stays at or
+//     above the cell's data retention voltage (DRV), which is well below
+//     the nominal domain voltage and varies per cell with process
+//     variation.
+//  2. When the rail falls below DRV, the cell's state is held only by
+//     intrinsic capacitance, which discharges with a strongly
+//     temperature-dependent time constant — milliseconds at −110 °C,
+//     microseconds at room temperature.
+//  3. A cell whose charge fully leaks powers up into a per-cell preferred
+//     state (the power-up fingerprint exploited by SRAM PUFs): most cells
+//     are strongly biased to 0 or 1, a minority are metastable. Two
+//     successive power-ups of the same array differ by a fractional
+//     Hamming distance of roughly 0.10, and the fingerprint is
+//     uncorrelated with any data previously stored (≈0.50 fractional HD).
+//  4. SRAM is bistable: nothing about a decayed cell reveals whether it
+//     held a 0 or a 1, which is what makes partial cold-boot images of
+//     SRAM so much harder to post-process than DRAM images.
+//
+// Two engineering choices keep megabyte-scale arrays (an SoC's L2) cheap:
+// decay is integrated lazily per unpowered interval rather than ticked,
+// and per-cell silicon properties (DRV, retention multiplier, power-up
+// bias) are derived on demand from a per-cell hash instead of being
+// stored, so an array costs one bit of memory per cell. The hash-derived
+// normals use an Irwin–Hall (sum of four uniforms) approximation, which
+// is accurate to ±3.4σ — plenty for population statistics.
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// RetentionModel is the set of physical constants governing cell decay and
+// power-up behaviour. The defaults (DefaultRetentionModel) are calibrated
+// against the paper's §3 measurements and the low-temperature SRAM
+// remanence literature it cites.
+type RetentionModel struct {
+	// NominalDRV is the mean data retention voltage in volts. A rail at or
+	// above a cell's DRV retains data indefinitely.
+	NominalDRV float64
+	// DRVSigma is the per-cell standard deviation of DRV (process
+	// variation), in volts.
+	DRVSigma float64
+	// MedianRetention300K is the median intrinsic retention time at 300 K
+	// once the rail is below DRV.
+	MedianRetention300K sim.Time
+	// ActivationK is the Arrhenius activation term Eₐ/k in Kelvin; the
+	// median retention scales as exp(ActivationK·(1/T − 1/300)).
+	ActivationK float64
+	// RetentionSigma is the lognormal shape parameter of per-cell
+	// retention times.
+	RetentionSigma float64
+	// NeutralFraction is the fraction of cells with no power-up
+	// preference; the remainder power up to a fixed preferred value with
+	// probability 1−BiasNoise.
+	NeutralFraction float64
+	// BiasNoise is the probability that a biased cell powers up against
+	// its preference.
+	BiasNoise float64
+}
+
+// DefaultRetentionModel returns constants calibrated so that
+//
+//   - at −110 °C the median retention is ≈60 ms (≈85 % of cells survive a
+//     20 ms power-off, matching the ~80 % reported by the remanence
+//     studies the paper cites),
+//   - at −40 °C the median is ≈200 µs (a multi-millisecond power cycle
+//     retains essentially nothing — Table 1),
+//   - at room temperature the median is ≈10 µs,
+//   - two power-ups of the same array differ by ≈0.10 fractional HD
+//     (Table 1 caption).
+func DefaultRetentionModel() RetentionModel {
+	return RetentionModel{
+		NominalDRV:          0.30,
+		DRVSigma:            0.04,
+		MedianRetention300K: 10 * sim.Microsecond,
+		ActivationK:         3093,
+		RetentionSigma:      1.0,
+		NeutralFraction:     0.20,
+		BiasNoise:           0.02,
+	}
+}
+
+// MedianRetentionAt returns the median intrinsic retention time at the
+// given temperature in Kelvin.
+func (m RetentionModel) MedianRetentionAt(kelvin float64) sim.Time {
+	if kelvin <= 0 {
+		panic("sram: non-positive absolute temperature")
+	}
+	scale := math.Exp(m.ActivationK * (1/kelvin - 1.0/300.0))
+	return sim.Time(float64(m.MedianRetention300K) * scale)
+}
+
+// RetentionThreshold is the rail voltage above which every cell in the
+// population retains (mean DRV plus three sigma).
+func (m RetentionModel) RetentionThreshold() float64 {
+	return m.NominalDRV + 3*m.DRVSigma
+}
+
+// Array is one physical SRAM macro: a set of bits sharing a supply rail.
+// Cache data RAMs, tag RAMs, register files, and iRAMs are all Arrays of
+// different sizes.
+type Array struct {
+	name  string
+	env   *sim.Env
+	model RetentionModel
+	// rng drives the irreproducible noise (metastable power-up cells);
+	// cellSeed drives the reproducible silicon lottery.
+	rng      *xrand.Rand
+	cellSeed uint64
+
+	// bits is the current logical content, valid only when powered.
+	bits []uint64 // bit-packed, len = ceil(n/64)
+	n    int      // number of bits
+
+	// railVolts is the instantaneous rail voltage.
+	railVolts float64
+	// belowSince is the time the rail last fell below the retention
+	// threshold; meaningful only when decaying is true.
+	belowSince sim.Time
+	// decayTempK is the temperature at the moment decay started. The
+	// paper's scenarios never change temperature mid-power-cycle, so a
+	// single temperature per excursion is exact for them.
+	decayTempK float64
+	decaying   bool
+	// heldVolts is the lowest rail voltage seen during the current
+	// excursion, which is what individual cells compare their DRV to.
+	heldVolts float64
+	// everPowered tracks whether the array has been powered at least
+	// once; a never-powered array powers up into its fingerprint.
+	everPowered bool
+	// imprint is the lazily allocated aging overlay (see imprint.go).
+	imprint *imprintState
+}
+
+// NewArray builds an array of n bits named name. The per-cell silicon
+// properties are derived deterministically from seed, so the same seed
+// always yields the same chip. The array starts unpowered.
+func NewArray(env *sim.Env, name string, n int, model RetentionModel, seed uint64) *Array {
+	if n <= 0 {
+		panic("sram: array size must be positive")
+	}
+	derived := xrand.Derive(seed, "sram:"+name)
+	return &Array{
+		name:     name,
+		env:      env,
+		model:    model,
+		rng:      derived,
+		cellSeed: derived.Uint64(),
+		bits:     make([]uint64, (n+63)/64),
+		n:        n,
+	}
+}
+
+// ihNormal converts a 64-bit hash into an approximately standard normal
+// variate via the Irwin–Hall sum of its four 16-bit fields.
+func ihNormal(h uint64) float64 {
+	sum := float64(h&0xFFFF) + float64(h>>16&0xFFFF) + float64(h>>32&0xFFFF) + float64(h>>48)
+	// mean 2·65535, stddev √(4·(65536²−1)/12) ≈ 37837.2
+	return (sum - 131070.0) / 37837.2
+}
+
+// cellStatics derives cell i's silicon-lottery properties from its hash.
+func (a *Array) cellStatics(i int) (drv, logRetention float64, biased, preferred bool) {
+	st := a.cellSeed ^ uint64(i)*0x9e3779b97f4a7c15
+	h1 := xrand.SplitMix64(&st)
+	h2 := xrand.SplitMix64(&st)
+	drv = a.model.NominalDRV + a.model.DRVSigma*ihNormal(h1)
+	if drv < 0.05 {
+		drv = 0.05
+	}
+	logRetention = a.model.RetentionSigma * ihNormal(h2)
+	// Use untouched high-entropy bits of a third output for the discrete
+	// properties so they are independent of the normals above.
+	h3 := xrand.SplitMix64(&st)
+	biased = float64(h3&0xFFFFFF)/float64(1<<24) >= a.model.NeutralFraction
+	preferred = h3>>63 == 1
+	return drv, logRetention, biased, preferred
+}
+
+// Name returns the array's name.
+func (a *Array) Name() string { return a.name }
+
+// Bits returns the number of bits in the array.
+func (a *Array) Bits() int { return a.n }
+
+// Bytes returns the array size in bytes (bits/8, rounded down).
+func (a *Array) Bytes() int { return a.n / 8 }
+
+// RailVolts returns the instantaneous rail voltage.
+func (a *Array) RailVolts() float64 { return a.railVolts }
+
+// Powered reports whether the rail is above the population retention
+// threshold (enough for every cell).
+func (a *Array) Powered() bool {
+	return a.railVolts >= a.model.RetentionThreshold()
+}
+
+// SetRail drives the array's supply rail to volts at the current
+// simulation time. Crossing below the retention threshold starts the
+// decay clock; crossing back above resolves per-cell survival against
+// the lowest voltage seen during the excursion.
+func (a *Array) SetRail(volts float64) {
+	if volts == a.railVolts && (a.everPowered || volts == 0) {
+		return
+	}
+	prev := a.railVolts
+	a.railVolts = volts
+
+	threshold := a.model.RetentionThreshold()
+	wasUp := prev >= threshold
+	isUp := volts >= threshold
+
+	switch {
+	case !a.everPowered && isUp:
+		// First power-on of the die: whole array boots into fingerprint.
+		a.powerUpAll()
+		a.everPowered = true
+		a.decaying = false
+	case wasUp && !isUp:
+		// Rail heading down into (or through) the retention band.
+		a.decaying = true
+		a.belowSince = a.env.Now()
+		a.decayTempK = a.env.TemperatureK()
+		a.heldVolts = volts
+	case !wasUp && !isUp:
+		if a.decaying && volts < a.heldVolts {
+			a.heldVolts = volts
+		}
+	case !wasUp && isUp && a.decaying:
+		a.resolveDecay()
+		a.decaying = false
+	}
+}
+
+// resolveDecay decides, for every cell, whether its state survived the
+// excursion during which the rail sat at heldVolts (possibly 0). A cell
+// survives if either the held voltage was at or above its personal DRV,
+// or the unpowered interval was shorter than its personal retention time
+// at the excursion temperature.
+func (a *Array) resolveDecay() {
+	elapsed := float64(a.env.Now() - a.belowSince)
+	median := float64(a.model.MedianRetentionAt(a.decayTempK))
+	// A cell survives on time iff elapsed < median·exp(logRet), i.e.
+	// logRet > ln(elapsed/median). One Log call serves the whole array.
+	var logThreshold float64
+	if elapsed <= 0 {
+		logThreshold = math.Inf(-1) // everything survives a zero gap
+	} else {
+		logThreshold = math.Log(elapsed / median)
+	}
+	lost := 0
+	for i := 0; i < a.n; i++ {
+		drv, logRet, biased, preferred := a.cellStatics(i)
+		if a.heldVolts >= drv {
+			continue // rail held above this cell's DRV: perfect retention
+		}
+		if logRet > logThreshold {
+			continue // charge survived the gap
+		}
+		a.powerUpCellWith(i, biased, preferred)
+		lost++
+	}
+	if lost > 0 {
+		a.env.Logf("sram", "%s: %d/%d cells decayed over %s at %.2fV held",
+			a.name, lost, a.n, sim.Time(elapsed), a.heldVolts)
+	}
+}
+
+// powerUpAll samples a fresh power-up fingerprint for every cell.
+func (a *Array) powerUpAll() {
+	for i := 0; i < a.n; i++ {
+		_, _, biased, preferred := a.cellStatics(i)
+		a.powerUpCellWith(i, biased, preferred)
+	}
+	a.env.Logf("sram", "%s: power-up into fingerprint state (%d bits)", a.name, a.n)
+}
+
+// powerUpCellWith samples the power-up value for cell i from its bias,
+// unless long-term imprinting (see imprint.go) decides it first.
+func (a *Array) powerUpCellWith(i int, biased, preferred bool) {
+	if v, decided := a.imprintPowerUp(i); decided {
+		a.setBit(i, v)
+		return
+	}
+	var v bool
+	if biased {
+		v = preferred
+		if a.rng.Bernoulli(a.model.BiasNoise) {
+			v = !v
+		}
+	} else {
+		v = a.rng.Bool()
+	}
+	a.setBit(i, v)
+}
+
+func (a *Array) setBit(i int, v bool) {
+	if v {
+		a.bits[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		a.bits[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (a *Array) bit(i int) bool {
+	return a.bits[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+func (a *Array) checkAccess(op string) {
+	if !a.Powered() {
+		panic(fmt.Sprintf("sram: %s on unpowered array %s (rail %.2fV)", op, a.name, a.railVolts))
+	}
+}
+
+// WriteBit stores one bit. Accessing an unpowered array is a programming
+// error (real hardware cannot either) and panics.
+func (a *Array) WriteBit(i int, v bool) {
+	a.checkAccess("WriteBit")
+	a.setBit(i, v)
+}
+
+// ReadBit loads one bit.
+func (a *Array) ReadBit(i int) bool {
+	a.checkAccess("ReadBit")
+	return a.bit(i)
+}
+
+// WriteBytes stores b starting at byte offset off.
+func (a *Array) WriteBytes(off int, b []byte) {
+	a.checkAccess("WriteBytes")
+	if off < 0 || (off+len(b))*8 > a.n {
+		panic(fmt.Sprintf("sram: WriteBytes out of range on %s: off=%d len=%d size=%dB", a.name, off, len(b), a.Bytes()))
+	}
+	// Byte j of the array occupies bits [8j, 8j+8) which sit inside packed
+	// word j>>3 at shift 8·(j&7) — so byte access is O(1).
+	for i, v := range b {
+		j := off + i
+		shift := 8 * uint(j&7)
+		w := &a.bits[j>>3]
+		*w = (*w &^ (uint64(0xFF) << shift)) | uint64(v)<<shift
+	}
+}
+
+// ReadBytes returns n bytes starting at byte offset off.
+func (a *Array) ReadBytes(off, n int) []byte {
+	a.checkAccess("ReadBytes")
+	if off < 0 || n < 0 || (off+n)*8 > a.n {
+		panic(fmt.Sprintf("sram: ReadBytes out of range on %s: off=%d len=%d size=%dB", a.name, off, n, a.Bytes()))
+	}
+	out := make([]byte, n)
+	for i := range out {
+		j := off + i
+		out[i] = byte(a.bits[j>>3] >> (8 * uint(j&7)))
+	}
+	return out
+}
+
+// WriteUint64 stores a 64-bit little-endian word at byte offset off.
+func (a *Array) WriteUint64(off int, v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	a.WriteBytes(off, b[:])
+}
+
+// ReadUint64 loads a 64-bit little-endian word from byte offset off.
+func (a *Array) ReadUint64(off int) uint64 {
+	b := a.ReadBytes(off, 8)
+	var v uint64
+	for i, x := range b {
+		v |= uint64(x) << (8 * i)
+	}
+	return v
+}
+
+// Fill writes the byte pattern v across the whole array.
+func (a *Array) Fill(v byte) {
+	a.checkAccess("Fill")
+	buf := make([]byte, a.Bytes())
+	for i := range buf {
+		buf[i] = v
+	}
+	a.WriteBytes(0, buf)
+}
+
+// Snapshot returns the full content of the array as bytes. It is the
+// simulation-level equivalent of a perfect physical readout and is used
+// by experiments to compute ground truth; attack code goes through the
+// architectural interfaces instead.
+func (a *Array) Snapshot() []byte {
+	return a.ReadBytes(0, a.Bytes())
+}
+
+// FractionOnes returns the fraction of 1 bits currently stored.
+func (a *Array) FractionOnes() float64 {
+	a.checkAccess("FractionOnes")
+	ones := 0
+	for i := 0; i < a.n; i++ {
+		if a.bit(i) {
+			ones++
+		}
+	}
+	return float64(ones) / float64(a.n)
+}

@@ -1,0 +1,192 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators and distribution samplers used throughout the simulator.
+//
+// Everything stochastic in the reproduction — silicon process variation,
+// SRAM power-up fingerprints, retention-time sampling, kernel noise — is
+// derived from an xrand generator seeded from an experiment configuration,
+// so every experiment is reproducible bit-for-bit. The implementation is
+// xoshiro256** seeded via splitmix64, following the reference constructions
+// by Blackman and Vigna.
+package xrand
+
+import "math"
+
+// SplitMix64 advances the given state by one step and returns the next
+// 64-bit output. It is used both as a stand-alone generator for cheap
+// one-off derivations and to seed Rand state.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is not valid; obtain
+// instances with New or Derive.
+type Rand struct {
+	s [4]uint64
+	// cached spare gaussian value for NormFloat64 (Marsaglia polar method)
+	haveSpare bool
+	spare     float64
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro must not be seeded with all zeros; splitmix output of any
+	// seed cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Derive returns a new generator whose stream is a deterministic function
+// of the parent seed and the label. It is the standard way to give each
+// subsystem (a chip, a cache, a noise source) an independent stream.
+func Derive(seed uint64, label string) *Rand {
+	h := seed
+	for _, b := range []byte(label) {
+		h ^= uint64(b)
+		h *= 0x100000001b3 // FNV-1a prime, folded into splitmix seeding
+		SplitMix64(&h)
+	}
+	return New(h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 bits from the stream.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 bits from the stream.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using
+// the Marsaglia polar method.
+func (r *Rand) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		m := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * m
+		r.haveSpare = true
+		return u * m
+	}
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// LogNormal returns a lognormal variate such that the *median* of the
+// distribution is median and the shape parameter (stddev of the underlying
+// normal in log space) is sigma. Medians parameterize retention times more
+// intuitively than means for heavy-tailed distributions.
+func (r *Rand) LogNormal(median, sigma float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return median * math.Exp(sigma*r.NormFloat64())
+}
+
+// Exp returns an exponential variate with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// Float64 is in [0,1); guard the log argument.
+	return -mean * math.Log(1-u)
+}
+
+// Perm fills a permutation of [0, n) using the Fisher–Yates shuffle.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Bytes fills b with random bytes.
+func (r *Rand) Bytes(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := r.Uint64()
+		for k := 0; k < 8; k++ {
+			b[i+k] = byte(v >> (8 * k))
+		}
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}

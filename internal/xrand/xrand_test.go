@@ -1,0 +1,236 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a := Derive(7, "chip")
+	b := Derive(7, "noise")
+	c := Derive(7, "chip")
+	if a.Uint64() != c.Uint64() {
+		t.Fatal("Derive with identical labels must produce identical streams")
+	}
+	a2 := Derive(7, "chip")
+	matches := 0
+	for i := 0; i < 64; i++ {
+		if a2.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Fatalf("derived streams for different labels overlap: %d matches", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(4)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(6)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("mean = %v, want ~5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(8)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(100, 1.0)
+	}
+	// crude median via counting below/above
+	below := 0
+	for _, v := range vals {
+		if v < 100 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("fraction below median parameter = %v, want ~0.5", frac)
+	}
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatal("lognormal variate must be positive")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(42)
+	}
+	mean := sum / n
+	if math.Abs(mean-42) > 0.7 {
+		t.Fatalf("Exp mean = %v, want ~42", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBytesDeterministicAndCovering(t *testing.T) {
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	New(11).Bytes(a)
+	New(11).Bytes(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Bytes not deterministic")
+		}
+	}
+	// over many bytes, all byte values should appear eventually
+	big := make([]byte, 1<<16)
+	New(12).Bytes(big)
+	var seen [256]bool
+	for _, v := range big {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("byte value %d never generated in 64KiB", i)
+		}
+	}
+}
+
+func TestUint64BitBalance(t *testing.T) {
+	r := New(13)
+	ones := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.Uint64()
+		for v != 0 {
+			ones += int(v & 1)
+			v >>= 1
+		}
+	}
+	frac := float64(ones) / (n * 64)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("bit balance = %v", frac)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

@@ -1,0 +1,164 @@
+// Package voltboot is a full-system reproduction of "SRAM Has No Chill:
+// Exploiting Power Domain Separation to Steal On-Chip Secrets" (Mahmod &
+// Hicks, ASPLOS 2022) as a simulation library.
+//
+// The package is the public façade over the internal substrates:
+//
+//   - simulated evaluation boards (Raspberry Pi 3/4, i.MX53 QSB) with
+//     SRAM-backed caches and register files, separated power domains, a
+//     PMIC, PCB test pads, DRAM, boot ROM behaviour and a JTAG port;
+//   - the Volt Boot attack orchestrator (probe a power pad, yank main
+//     power, reboot, extract SRAM via RAMINDEX payloads or JTAG);
+//   - the classic cold boot orchestrator it is contrasted with;
+//   - every table and figure of the paper's evaluation as a reproducible
+//     experiment function.
+//
+// # Quick start
+//
+//	sys, err := voltboot.NewSystem(voltboot.RaspberryPi4(), voltboot.Options{}, 42)
+//	if err != nil { ... }
+//	victim, _, _ := voltboot.VictimNOPFill(sys.Spec())
+//	_ = sys.RunVictim(victim)
+//	ext, err := sys.VoltBootCaches(voltboot.DefaultAttackConfig())
+//	// ext.Dumps[core].L1I[way] now holds the stolen cache images.
+//
+// Everything stochastic derives from the seed: identical seeds give
+// bit-identical silicon, noise and results.
+package voltboot
+
+import (
+	"repro/internal/board"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+// Re-exported configuration and result types. These aliases are the
+// supported names; the internal packages are implementation detail.
+type (
+	// DeviceSpec describes one evaluation platform (Table 2/3).
+	DeviceSpec = soc.DeviceSpec
+	// Options are the §8 countermeasure switches.
+	Options = soc.Options
+	// BootImage is a payload offered to the boot chain.
+	BootImage = soc.BootImage
+	// AttackConfig sets probe current, power-off time and run budget.
+	AttackConfig = core.AttackConfig
+	// ProbeSpec describes the attacker's bench supply.
+	ProbeSpec = core.ProbeSpec
+	// CacheExtraction is the result of a cache-targeting attack.
+	CacheExtraction = core.CacheExtraction
+	// RegisterExtraction is the result of a register-targeting attack.
+	RegisterExtraction = core.RegisterExtraction
+	// IRAMExtraction is the result of an iRAM-targeting attack.
+	IRAMExtraction = core.IRAMExtraction
+	// Step is one entry of an attack trace.
+	Step = core.Step
+	// Time is a simulation timestamp/duration in nanoseconds.
+	Time = sim.Time
+)
+
+// Simulation time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// RaspberryPi4 returns the BCM2711 platform spec.
+func RaspberryPi4() DeviceSpec { return soc.BCM2711() }
+
+// RaspberryPi3 returns the BCM2837 platform spec.
+func RaspberryPi3() DeviceSpec { return soc.BCM2837() }
+
+// IMX53QSB returns the i.MX53 quick-start-board platform spec.
+func IMX53QSB() DeviceSpec { return soc.IMX53() }
+
+// Devices returns all modelled platforms in Table 2 order.
+func Devices() []DeviceSpec { return soc.Catalog() }
+
+// DefaultAttackConfig returns the paper's setup: a 3.5 A bench supply on
+// the Table 3 pad and a two-second power gap.
+func DefaultAttackConfig() AttackConfig { return core.DefaultAttackConfig() }
+
+// System couples a simulation environment with one powered evaluation
+// board — the object almost every workflow starts from.
+type System struct {
+	// Env is the simulation clock and thermal environment.
+	Env *sim.Env
+	// Board is the wired platform; Board.SoC exposes the chip.
+	Board *board.Board
+}
+
+// NewSystem builds the platform described by spec with the given
+// countermeasures and silicon seed, and connects main power.
+func NewSystem(spec DeviceSpec, opts Options, seed uint64) (*System, error) {
+	env := sim.NewEnv()
+	b, err := board.New(env, spec, opts, seed)
+	if err != nil {
+		return nil, err
+	}
+	b.ConnectMain()
+	return &System{Env: env, Board: b}, nil
+}
+
+// Spec returns the platform description.
+func (s *System) Spec() DeviceSpec { return s.Board.Spec() }
+
+// SoC exposes the chip for direct inspection (physical ground truth,
+// JTAG, DRAM staging).
+func (s *System) SoC() *soc.SoC { return s.Board.SoC }
+
+// RunVictim boots and runs a victim image on every core, leaving the
+// machine in the "captured device" state the attack model starts from.
+func (s *System) RunVictim(img *BootImage) error {
+	return core.RunVictim(s.Board, img, 100_000_000)
+}
+
+// VoltBootCaches executes the §6.1 attack against the L1 caches.
+func (s *System) VoltBootCaches(cfg AttackConfig) (*CacheExtraction, error) {
+	return core.VoltBootCaches(s.Board, cfg)
+}
+
+// VoltBootRegisters executes the §7.2 attack against the vector
+// registers.
+func (s *System) VoltBootRegisters(cfg AttackConfig) (*RegisterExtraction, error) {
+	return core.VoltBootRegisters(s.Board, cfg)
+}
+
+// VoltBootIRAM executes the §7.3 attack against the on-chip RAM of
+// internally booting, JTAG-equipped parts.
+func (s *System) VoltBootIRAM(cfg AttackConfig) (*IRAMExtraction, error) {
+	return core.VoltBootIRAM(s.Board, cfg)
+}
+
+// ColdBootCaches runs the §3 baseline: thermal soak, unprobed power
+// cycle, same extraction.
+func (s *System) ColdBootCaches(tempC float64, offTime Time) (*CacheExtraction, error) {
+	return core.ColdBootCaches(s.Board, tempC, offTime, 100_000_000)
+}
+
+// Victim image builders, re-exported from the attack core.
+
+// VictimNOPFill builds the §7.1.1 victim: a cache-filling NOP sled. The
+// returned words are the ground-truth machine code.
+func VictimNOPFill(spec DeviceSpec) (*BootImage, []uint32, error) {
+	return core.VictimNOPFillImage(spec)
+}
+
+// VictimPatternFill builds a victim that writes a byte pattern through
+// the d-cache (count 8-byte words at base).
+func VictimPatternFill(base uint64, count int, pattern byte) (*BootImage, error) {
+	return core.VictimPatternFillImage(base, count, pattern)
+}
+
+// VictimVectorFill builds the §7.2 victim filling v0..v31 with 0xAA/0xFF.
+func VictimVectorFill() (*BootImage, error) {
+	return core.VictimVectorFillImage()
+}
+
+// VictimVectorKeys builds a TRESOR-style victim that loads the given
+// 16-byte round keys into vector registers without touching DRAM.
+func VictimVectorKeys(roundKeys [][]byte) (*BootImage, error) {
+	return core.VictimVectorKeyImage(roundKeys)
+}

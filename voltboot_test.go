@@ -1,0 +1,143 @@
+package voltboot
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := NewSystem(RaspberryPi4(), Options{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, groundTruth, err := VictimNOPFill(sys.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunVictim(victim); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := sys.VoltBootCaches(DefaultAttackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.Dumps) != 4 {
+		t.Fatalf("dumps for %d cores", len(ext.Dumps))
+	}
+	nop := []byte{byte(groundTruth[0]), byte(groundTruth[0] >> 8), byte(groundTruth[0] >> 16), byte(groundTruth[0] >> 24)}
+	if len(FindPattern(ext.Dumps[0].L1I[0], nop)) == 0 {
+		t.Fatal("extracted i-cache does not contain the victim's code")
+	}
+}
+
+func TestKeyTheftFlow(t *testing.T) {
+	sys, err := NewSystem(RaspberryPi4(), Options{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("full disk encKEY")
+	sched, err := ExpandAES128Key(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rks [][]byte
+	for r := 0; r <= 10; r++ {
+		rks = append(rks, AESRoundKey(sched, r))
+	}
+	victim, err := VictimVectorKeys(rks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunVictim(victim); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := sys.VoltBootRegisters(DefaultAttackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := InvertAES128Schedule(ext.PerCore[0][3], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recovered, key) {
+		t.Fatalf("recovered %x, want %x", recovered, key)
+	}
+}
+
+func TestColdBootBaselineFails(t *testing.T) {
+	sys, err := NewSystem(RaspberryPi4(), Options{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := VictimPatternFill(0x100000, 2048, 0xA5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunVictim(victim); err != nil {
+		t.Fatal(err)
+	}
+	truth := sys.SoC().Cores[0].L1D.DumpWay(0)
+	ext, err := sys.ColdBootCaches(-40, 5*Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := RetentionAccuracy(truth, ext.Dumps[0].L1D[0]); acc > 0.6 {
+		t.Fatalf("cold boot accuracy = %v; must be ≈0.5", acc)
+	}
+}
+
+func TestDeviceCatalogExported(t *testing.T) {
+	if len(Devices()) != 3 {
+		t.Fatal("expected 3 devices")
+	}
+	if RaspberryPi4().SoCName != "BCM2711" || IMX53QSB().TestPad != "SH13" ||
+		RaspberryPi3().TestPad != "PP58" {
+		t.Fatal("device specs wrong")
+	}
+}
+
+func TestAESCTRExported(t *testing.T) {
+	sched, err := ExpandAES128Key([]byte("sixteen byte key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("secret disk contents")
+	data := append([]byte(nil), msg...)
+	if err := AESCTRXor(sched, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(data, msg) {
+		t.Fatal("CTR no-op")
+	}
+	if err := AESCTRXor(sched, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, msg) {
+		t.Fatal("CTR round trip failed")
+	}
+}
+
+func TestDeterministicAcrossSystems(t *testing.T) {
+	run := func() []byte {
+		sys, err := NewSystem(RaspberryPi4(), Options{}, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim, err := VictimPatternFill(0x100000, 512, 0x3C)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RunVictim(victim); err != nil {
+			t.Fatal(err)
+		}
+		ext, err := sys.VoltBootCaches(DefaultAttackConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ext.Dumps[0].L1D[0]
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed must reproduce the identical extraction")
+	}
+}
