@@ -1,0 +1,37 @@
+# Development entry points. `make check` is the full gate that CI (and
+# scripts/check.sh) runs; the individual targets exist for fast local
+# iteration.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race target is where the parallel experiment runner earns its
+# keep: the determinism tests raise GOMAXPROCS and fan Table 1, the
+# retention sweep and the defense survey across workers under the race
+# detector. -short skips only the heavyweight repeats (Table 4, CaSE,
+# the doubled Countermeasures run).
+race:
+	$(GO) test -race -short ./...
+
+# One-iteration smoke over the hot-path micro-benchmarks: catches
+# benchmark bit-rot without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'ResolveDecay|PowerUpAll|FractionalHD|FractionOnes' -benchtime 1x ./internal/sram/ ./internal/analysis/
+
+# Full measurement run (slow): every table and figure as a benchmark.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+check: vet build race bench-smoke

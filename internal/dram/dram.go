@@ -76,6 +76,10 @@ type Module struct {
 	// loses nothing: the attack statistics operate on error fractions far
 	// above the within-byte correlation this introduces.
 	logRetention []float32
+	// minLogRet is the smallest logRetention value, captured during the
+	// fill. PowerOn uses it to recognize outages that cannot decay any
+	// byte without touching the per-byte data.
+	minLogRet float32
 
 	powered bool
 	// offSince/offTempK track the current unpowered interval.
@@ -99,13 +103,39 @@ func NewModule(env *sim.Env, name string, size int, model RetentionModel, seed u
 		logRetention: make([]float32, size),
 		powered:      true,
 	}
+	m.minLogRet = float32(math.Inf(1))
 	for i := range m.logRetention {
-		m.logRetention[i] = float32(model.RetentionSigma * m.rng.NormFloat64())
+		lr := float32(model.RetentionSigma * m.rng.NormFloat64())
+		m.logRetention[i] = lr
+		if lr < m.minLogRet {
+			m.minLogRet = lr
+		}
 	}
-	for i := range m.data {
-		m.data[i] = m.groundByte(i)
-	}
+	m.fillGround(m.data, 0)
 	return m
+}
+
+// fillGround writes the ground pattern for byte offsets [off, off+len(dst))
+// into dst, one block at a time instead of a per-byte block-index division.
+func (m *Module) fillGround(dst []byte, off int) {
+	g := m.model.GroundBlockBytes
+	for len(dst) > 0 {
+		n := g - off%g // bytes left in the current block
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if (off/g)%2 == 1 {
+			for i := 0; i < n; i++ {
+				dst[i] = 0xFF
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0x00
+			}
+		}
+		dst = dst[n:]
+		off += n
+	}
 }
 
 // Name returns the module name.
@@ -140,6 +170,16 @@ func (m *Module) PowerOff() {
 // PowerOn restores power, resolving which bytes decayed to ground during
 // the outage. Bytes whose personal retention time exceeds the outage
 // survive intact — the cold boot attack's entire premise.
+//
+// The per-byte predicate is elapsed ≥ median·exp(lr). Working in log
+// space — lr against ln(elapsed/median) — replaces the per-byte Exp with
+// one float compare. Classification uses a ±1e-9 safety band, eight
+// orders of magnitude above the compounded rounding error of the
+// Log/divide, and the rare bytes falling inside the band are re-decided
+// with the exact original expression, so outcomes are bit-identical to
+// the per-byte Exp loop. The module-wide retention bounds captured at
+// construction short-circuit the common attack case (a millisecond-scale
+// cycle that no DRAM byte can lose) to O(1).
 func (m *Module) PowerOn() {
 	if m.powered {
 		return
@@ -147,14 +187,30 @@ func (m *Module) PowerOn() {
 	m.powered = true
 	elapsed := float64(m.env.Now() - m.offSince)
 	median := float64(m.model.MedianRetentionAt(m.offTempK))
+	// Degenerate medians fall out of the float semantics: median 0 gives
+	// logEl = +Inf (everything decays, as the original comparison against
+	// retention 0 did) or NaN when elapsed is also 0 (all comparisons
+	// false, again decaying everything).
+	logEl := math.Log(elapsed / median)
+	const band = 1e-9
+	if float64(m.minLogRet) > logEl+band {
+		// Even the leakiest byte outlives the outage: nothing decays.
+		m.env.Logf("dram", "%s power on: 0/%d bytes decayed to ground", m.name, len(m.data))
+		return
+	}
 	decayed := 0
-	for i := range m.data {
-		retention := median * math.Exp(float64(m.logRetention[i]))
-		if elapsed >= retention {
-			if g := m.groundByte(i); m.data[i] != g {
-				m.data[i] = g
-				decayed++
-			}
+	lo, hi := logEl-band, logEl+band
+	for i, lr := range m.logRetention {
+		x := float64(lr)
+		if x > hi {
+			continue // retention clearly exceeds the outage
+		}
+		if x >= lo && elapsed < median*math.Exp(x) {
+			continue // inside the band: exact original check says it survived
+		}
+		if g := m.groundByte(i); m.data[i] != g {
+			m.data[i] = g
+			decayed++
 		}
 	}
 	m.env.Logf("dram", "%s power on: %d/%d bytes decayed to ground", m.name, decayed, len(m.data))

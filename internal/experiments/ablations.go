@@ -8,6 +8,7 @@ import (
 	"repro/internal/aes"
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/soc"
 	"repro/internal/sram"
@@ -31,35 +32,41 @@ type ProbeSweepResult struct {
 }
 
 // ProbeCurrentSweep measures extraction accuracy across probe current
-// limits.
+// limits. Each current limit attacks its own same-seed board, so the ten
+// cells are independent and fan out across CPUs; rows come back in sweep
+// order regardless of scheduling.
 func ProbeCurrentSweep(seed uint64) (*ProbeSweepResult, error) {
 	spec := soc.BCM2711()
-	res := &ProbeSweepResult{SurgeAmps: spec.DisconnectSurgeAmps}
-	for _, amps := range []float64{0.1, 0.25, 0.5, 1.0, 2.0, 2.4, 2.6, 3.0, 3.5, 4.0} {
-		b, _, err := newBoard(spec, soc.Options{}, seed)
+	limits := []float64{0.1, 0.25, 0.5, 1.0, 2.0, 2.4, 2.6, 3.0, 3.5, 4.0}
+	rows, err := runner.Map(len(limits), func(i int) (ProbeSweepRow, error) {
+		amps := limits[i]
+		b, _, err := newTrialBoard(spec, soc.Options{}, seed)
 		if err != nil {
-			return nil, err
+			return ProbeSweepRow{}, err
 		}
 		victim, err := core.VictimPatternFillImage(0x100000, 2048, 0x5A)
 		if err != nil {
-			return nil, err
+			return ProbeSweepRow{}, err
 		}
 		if err := core.RunVictim(b, victim, 50_000_000); err != nil {
-			return nil, err
+			return ProbeSweepRow{}, err
 		}
 		truth := b.SoC.Cores[0].L1D.DumpWay(0)
 		cfg := core.DefaultAttackConfig()
 		cfg.Probe.MaxAmps = amps
 		ext, err := core.VoltBootCaches(b, cfg)
 		if err != nil {
-			return nil, err
+			return ProbeSweepRow{}, err
 		}
-		res.Rows = append(res.Rows, ProbeSweepRow{
+		return ProbeSweepRow{
 			ProbeAmps:         amps,
 			RetentionAccuracy: analysis.RetentionAccuracy(truth, ext.Dumps[0].L1D[0]),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ProbeSweepResult{SurgeAmps: spec.DisconnectSurgeAmps, Rows: rows}, nil
 }
 
 // String renders Ablation A.
@@ -93,31 +100,35 @@ type RetentionSweepResult struct {
 }
 
 // RetentionSweep measures a 64 KB SRAM array's retention across the
-// temperature/off-time grid.
+// temperature/off-time grid. The grid is flattened to temp-major index
+// order and fanned across CPUs: every cell owns a private quiet
+// environment and a same-seed array, so the table is identical to the
+// serial nested loop it replaces.
 func RetentionSweep(seed uint64) *RetentionSweepResult {
 	res := &RetentionSweepResult{
 		Temps:    []float64{25, 0, -40, -80, -110, -150},
 		OffTimes: []sim.Time{1 * sim.Millisecond, 20 * sim.Millisecond, 100 * sim.Millisecond, 1 * sim.Second},
 	}
-	for _, tempC := range res.Temps {
-		var row []RetentionSweepCell
-		for _, off := range res.OffTimes {
-			env := sim.NewEnv()
-			env.SetTemperatureC(tempC)
-			arr := sram.NewArray(env, "sweep", 64*1024*8, sram.DefaultRetentionModel(), seed)
-			arr.SetRail(0.8)
-			arr.Fill(0xA5)
-			before := arr.Snapshot()
-			arr.SetRail(0)
-			env.Advance(off)
-			arr.SetRail(0.8)
-			row = append(row, RetentionSweepCell{
-				TempC:     tempC,
-				OffTime:   off,
-				Retention: analysis.RetentionAccuracy(before, arr.Snapshot()),
-			})
+	cells := runner.MapNoErr(len(res.Temps)*len(res.OffTimes), func(i int) RetentionSweepCell {
+		tempC := res.Temps[i/len(res.OffTimes)]
+		off := res.OffTimes[i%len(res.OffTimes)]
+		env := sim.NewQuietEnv()
+		env.SetTemperatureC(tempC)
+		arr := sram.NewArray(env, "sweep", 64*1024*8, sram.DefaultRetentionModel(), seed)
+		arr.SetRail(0.8)
+		arr.Fill(0xA5)
+		before := arr.Snapshot()
+		arr.SetRail(0)
+		env.Advance(off)
+		arr.SetRail(0.8)
+		return RetentionSweepCell{
+			TempC:     tempC,
+			OffTime:   off,
+			Retention: analysis.RetentionAccuracy(before, arr.Snapshot()),
 		}
-		res.Cells = append(res.Cells, row)
+	})
+	for ti := range res.Temps {
+		res.Cells = append(res.Cells, cells[ti*len(res.OffTimes):(ti+1)*len(res.OffTimes)])
 	}
 	return res
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/soc"
 	"repro/internal/vimg"
@@ -37,8 +38,13 @@ type Table1Result struct {
 // Table1 runs the §3 cold boot experiment: populate the d-cache of every
 // BCM2711 core with a known pattern, soak at each temperature, power
 // cycle for a few milliseconds with no probe, extract, and measure error.
+//
+// Each temperature column is a fully independent trial — a fresh board is
+// built from the same seed, so the cold silicon is identical in every
+// column — and the columns fan out across CPUs via runner.Map. Results
+// are assembled in temperature order, so the rendered table is
+// byte-identical to a serial run (TestTable1DeterministicAcrossWorkers).
 func Table1(seed uint64) (*Table1Result, error) {
-	res := &Table1Result{}
 	temps := []struct {
 		c    float64
 		note string
@@ -47,22 +53,27 @@ func Table1(seed uint64) (*Table1Result, error) {
 		{-5, ""},
 		{-40, "SoC's hard limit"},
 	}
-	for _, tc := range temps {
-		b, env, err := newBoard(soc.BCM2711(), soc.Options{}, seed)
+	type cell struct {
+		row Table1Row
+		// fracHDToStartup is NaN-free only for the −40 °C trial; ok marks it.
+		fracHDToStartup float64
+		hasFracHD       bool
+	}
+	cells, err := runner.Map(len(temps), func(i int) (cell, error) {
+		tc := temps[i]
+		b, env, err := newTrialBoard(soc.BCM2711(), soc.Options{}, seed)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		spec := b.Spec()
 		victim, err := core.VictimPatternFillImage(0x100000, spec.L1D.SizeBytes/8, 0xA5)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		if err := core.RunVictim(b, victim, 50_000_000); err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		// Capture the stored truth and (once) a startup fingerprint
-		// reference from an identical unused array region: we use the
-		// post-cycle comparison below instead.
+		// Capture the stored truth before the power cycle destroys it.
 		truth := make([][][]byte, spec.Cores)
 		for c, cc := range b.SoC.Cores {
 			for w := 0; w < spec.L1D.Ways; w++ {
@@ -71,29 +82,40 @@ func Table1(seed uint64) (*Table1Result, error) {
 		}
 		ext, err := core.ColdBootCaches(b, tc.c, 5*sim.Millisecond, 50_000_000)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		row := Table1Row{TempC: tc.c, Note: tc.note}
+		out := cell{row: Table1Row{TempC: tc.c, Note: tc.note}}
 		for c, dump := range ext.Dumps {
 			var hds []float64
 			for w, way := range dump.L1D {
 				hds = append(hds, analysis.FractionalHD(truth[c][w], way))
 			}
-			row.PerCoreErrorPct = append(row.PerCoreErrorPct, analysis.Mean(hds)*100)
+			out.row.PerCoreErrorPct = append(out.row.PerCoreErrorPct, analysis.Mean(hds)*100)
 		}
-		row.MeanErrorPct = analysis.Mean(row.PerCoreErrorPct)
-		res.Rows = append(res.Rows, row)
+		out.row.MeanErrorPct = analysis.Mean(out.row.PerCoreErrorPct)
 
 		// Caption metric at -40°C: compare the post-cycle physical state
 		// with a fresh power-up of the same silicon.
 		if tc.c == -40 {
-			after := b.SoC.Cores[0].L1D.Arrays()[0].Snapshot()
 			arr := b.SoC.Cores[0].L1D.Arrays()[0]
+			after := arr.Snapshot()
 			arr.SetRail(0)
 			env.Advance(500 * sim.Millisecond)
 			arr.SetRail(spec.CoreVolts)
 			fingerprint := arr.Snapshot()
-			res.FracHDToStartup = analysis.FractionalHD(after, fingerprint)
+			out.fracHDToStartup = analysis.FractionalHD(after, fingerprint)
+			out.hasFracHD = true
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{}
+	for _, c := range cells {
+		res.Rows = append(res.Rows, c.row)
+		if c.hasFracHD {
+			res.FracHDToStartup = c.fracHDToStartup
 		}
 	}
 	return res, nil

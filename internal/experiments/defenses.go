@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/soc"
 )
 
@@ -35,7 +36,7 @@ type CountermeasuresResult struct {
 // the TrustZone secure world (the CaSE deployment model).
 func runDefendedAttack(seed uint64, opts soc.Options, secureVictim bool, orderlyShutdown bool) (*DefenseOutcome, error) {
 	spec := soc.BCM2711()
-	b, _, err := newBoard(spec, opts, seed)
+	b, _, err := newTrialBoard(spec, opts, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -80,65 +81,58 @@ func runDefendedAttack(seed uint64, opts soc.Options, secureVictim bool, orderly
 	return out, nil
 }
 
+// defenseScenario is one row of the survey grid: a device configuration,
+// the victim's deployment model, and the failure mode we annotate when
+// the attack is stopped without reporting its own.
+type defenseScenario struct {
+	name            string
+	opts            soc.Options
+	secureVictim    bool
+	orderly         bool
+	expectedFailure string
+}
+
 // Countermeasures runs the §8 survey: the undefended baseline plus each
-// proposed defense, reporting whether Volt Boot still works.
+// proposed defense, reporting whether Volt Boot still works. Every
+// scenario attacks its own freshly built same-seed board, so the eight
+// rows are independent trials fanned across CPUs by runner.Map; the
+// survey order is fixed by the scenario table, not by scheduling.
 func Countermeasures(seed uint64) (*CountermeasuresResult, error) {
-	res := &CountermeasuresResult{}
-
-	add := func(name string, opts soc.Options, secureVictim, orderly bool, expectedFailure string) error {
-		o, err := runDefendedAttack(seed, opts, secureVictim, orderly)
-		if err != nil {
-			return fmt.Errorf("experiments: countermeasure %q: %w", name, err)
-		}
-		o.Name = name
-		if !o.AttackSucceeded && o.FailureMode == "" {
-			o.FailureMode = expectedFailure
-		}
-		res.Outcomes = append(res.Outcomes, *o)
-		return nil
-	}
-
-	if err := add("none (baseline)", soc.Options{}, false, false, ""); err != nil {
-		return nil, err
-	}
-	if err := add("purge on orderly shutdown", soc.Options{}, false, false, ""); err != nil {
-		return nil, err
-	}
-	// The purge defense only works when the shutdown path runs — show
-	// both sides.
-	if err := add("purge, but abrupt disconnect skips it", soc.Options{}, false, false, ""); err != nil {
-		return nil, err
-	}
-	{
+	scenarios := []defenseScenario{
+		{name: "none (baseline)"},
+		{name: "purge on orderly shutdown"},
+		// The purge defense only works when the shutdown path runs — show
+		// both sides.
+		{name: "purge, but abrupt disconnect skips it"},
 		// Orderly shutdown variant: attacker lets the device power down
 		// normally first (not the Volt Boot threat model, for contrast).
-		o, err := runDefendedAttack(seed, soc.Options{}, false, true)
+		{name: "purge ran (graceful power-down, for contrast)", orderly: true,
+			expectedFailure: "caches zeroized before power loss"},
+		{name: "MBIST reset at startup", opts: soc.Options{MBISTReset: true},
+			expectedFailure: "hardware zeroized SRAM during boot"},
+		{name: "power-toggle reset at startup", opts: soc.Options{PowerToggleReset: true},
+			expectedFailure: "internal SRAM power gate toggled at reset"},
+		{name: "TrustZone NS-bit enforcement", opts: soc.Options{TrustZone: true}, secureVictim: true,
+			expectedFailure: "RAMINDEX denied on secure lines from non-secure payload"},
+		{name: "mandated authenticated boot", opts: soc.Options{AuthenticatedBoot: true},
+			expectedFailure: "extraction payload refused by boot chain"},
+	}
+	outcomes, err := runner.Map(len(scenarios), func(i int) (DefenseOutcome, error) {
+		sc := scenarios[i]
+		o, err := runDefendedAttack(seed, sc.opts, sc.secureVictim, sc.orderly)
 		if err != nil {
-			return nil, err
+			return DefenseOutcome{}, fmt.Errorf("experiments: countermeasure %q: %w", sc.name, err)
 		}
-		o.Name = "purge ran (graceful power-down, for contrast)"
-		if !o.AttackSucceeded {
-			o.FailureMode = "caches zeroized before power loss"
+		o.Name = sc.name
+		if !o.AttackSucceeded && o.FailureMode == "" {
+			o.FailureMode = sc.expectedFailure
 		}
-		res.Outcomes = append(res.Outcomes, *o)
-	}
-	if err := add("MBIST reset at startup", soc.Options{MBISTReset: true}, false, false,
-		"hardware zeroized SRAM during boot"); err != nil {
+		return *o, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := add("power-toggle reset at startup", soc.Options{PowerToggleReset: true}, false, false,
-		"internal SRAM power gate toggled at reset"); err != nil {
-		return nil, err
-	}
-	if err := add("TrustZone NS-bit enforcement", soc.Options{TrustZone: true}, true, false,
-		"RAMINDEX denied on secure lines from non-secure payload"); err != nil {
-		return nil, err
-	}
-	if err := add("mandated authenticated boot", soc.Options{AuthenticatedBoot: true}, false, false,
-		"extraction payload refused by boot chain"); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &CountermeasuresResult{Outcomes: outcomes}, nil
 }
 
 // String renders the survey.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/puf"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/soc"
 )
@@ -43,9 +44,14 @@ func extractPowerUpWay0(b interface {
 // PUFClone enrolls a chip's d-cache power-up fingerprint from three
 // attack extractions, then authenticates a fourth extraction of the same
 // chip and one from different silicon.
+//
+// The parallel unit is the chip, not the read: successive extractions of
+// one chip share its board and rng stream (each power cycle advances the
+// silicon's noise state), so they must stay serial, but the two chips are
+// independent silicon and fan out via runner.Map.
 func PUFClone(seed uint64) (*PUFCloneResult, error) {
 	collect := func(chipSeed uint64, reads int) ([][]byte, error) {
-		b, env, err := newBoard(soc.BCM2711(), soc.Options{}, chipSeed)
+		b, env, err := newTrialBoard(soc.BCM2711(), soc.Options{}, chipSeed)
 		if err != nil {
 			return nil, err
 		}
@@ -68,14 +74,20 @@ func PUFClone(seed uint64) (*PUFCloneResult, error) {
 		return out, nil
 	}
 
-	same, err := collect(seed, 4)
+	chips := []struct {
+		seed  uint64
+		reads int
+	}{
+		{seed, 4},          // the chip under attack
+		{seed + 0xD1FF, 1}, // different silicon for the impostor score
+	}
+	images, err := runner.Map(len(chips), func(i int) ([][]byte, error) {
+		return collect(chips[i].seed, chips[i].reads)
+	})
 	if err != nil {
 		return nil, err
 	}
-	other, err := collect(seed+0xD1FF, 1)
-	if err != nil {
-		return nil, err
-	}
+	same, other := images[0], images[1]
 
 	enrollment := enrollFromImages(same[:3])
 	res := &PUFCloneResult{EnrollStablePct: enrollment.StableFraction() * 100}

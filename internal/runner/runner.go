@@ -1,0 +1,134 @@
+// Package runner fans independent experiment trials across CPUs while
+// keeping every result bit-identical to a serial run.
+//
+// The experiment drivers (Table 1, the ablation sweeps, the §8 defense
+// survey) are grids of fully independent cells: each (board ×
+// temperature × trial) cell builds its own sim.Env and board.Board from
+// a seed, runs a power-event scenario, and reduces to a row. Nothing is
+// shared between cells, so the grid is embarrassingly parallel — as long
+// as three invariants hold, which this package owns:
+//
+//  1. *Private worlds.* The trial function must construct every mutable
+//     object (env, board, rng) inside the call; the runner never shares
+//     state between trials and the race detector enforces the rule.
+//  2. *Seed discipline.* Per-trial randomness is derived from the parent
+//     seed and the trial index (SeedFor, via xrand.Derive), never from a
+//     shared stream, so results cannot depend on which worker ran first.
+//  3. *Deterministic assembly.* Results are written into their index
+//     slot and errors are reported by lowest index, so output ordering
+//     and error selection are independent of goroutine scheduling.
+//
+// Under those rules Map(n, f) with any worker count — including 1 —
+// produces byte-identical results, which TestMapMatchesSerial and the
+// experiment-level golden tests assert.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xrand"
+)
+
+// SeedFor derives the seed of trial i of the experiment labelled label
+// from the experiment's parent seed. The derivation is pure: it depends
+// only on (seed, label, i), never on scheduling.
+func SeedFor(seed uint64, label string, i int) uint64 {
+	return xrand.Derive(seed, fmt.Sprintf("%s#%d", label, i)).Uint64()
+}
+
+// Map runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n) workers
+// and returns the results in index order. The first error by index (not
+// by completion time) aborts the whole map. A panic in any trial is
+// propagated to the caller.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkers(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// MapWorkers is Map with an explicit worker count (useful for tests that
+// pin the fan-out). workers ≤ 1 runs serially on the calling goroutine.
+func MapWorkers[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("runner: trial %d: %w", i, err)
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	var (
+		next     atomic.Int64 // work-stealing cursor
+		firstIdx atomic.Int64 // lowest failing index so far, -1 = none
+		errs     = make([]error, n)
+		panics   = make([]any, workers)
+		wg       sync.WaitGroup
+	)
+	firstIdx.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[worker] = r
+					firstIdx.Store(-2) // poison: stop handing out work
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Once a failure at index f is known, indices above f
+				// cannot improve the outcome; keep running lower ones so
+				// the reported error is the deterministic lowest index.
+				if f := firstIdx.Load(); f == -2 || (f >= 0 && int64(i) > f) {
+					continue
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					for {
+						f := firstIdx.Load()
+						if f == -2 || (f >= 0 && f < int64(i)) {
+							break
+						}
+						if firstIdx.CompareAndSwap(f, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				results[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	if f := firstIdx.Load(); f >= 0 {
+		return nil, fmt.Errorf("runner: trial %d: %w", f, errs[f])
+	}
+	return results, nil
+}
+
+// MapNoErr is Map for infallible trial functions.
+func MapNoErr[T any](n int, fn func(i int) T) []T {
+	out, _ := Map(n, func(i int) (T, error) { return fn(i), nil })
+	return out
+}

@@ -66,6 +66,15 @@ func NewEnv() *Env {
 	return &Env{tempC: 25, log: NewEventLog()}
 }
 
+// NewQuietEnv returns an environment with no log sink attached: every
+// Logf call is a cheap nil check, with no formatting and no event
+// allocation. The parallel experiment runner uses quiet environments for
+// its trial boards — the per-excursion decay logs of a megabyte-scale
+// array are pure overhead when nobody reads them.
+func NewQuietEnv() *Env {
+	return &Env{tempC: 25}
+}
+
 // Now returns the current simulation time.
 func (e *Env) Now() Time { return e.now }
 
@@ -93,11 +102,26 @@ func (e *Env) SetTemperatureC(c float64) {
 	e.Logf("env", "temperature set to %.1f°C", c)
 }
 
-// Log returns the environment's event log.
+// Log returns the environment's event log, or nil for a quiet
+// environment.
 func (e *Env) Log() *EventLog { return e.log }
 
-// Logf records a formatted event attributed to a subsystem.
+// LogEnabled reports whether a log sink is attached. Callers assembling
+// expensive log arguments (joins, renders) should gate on it; plain
+// Logf calls are already free when disabled.
+func (e *Env) LogEnabled() bool { return e.log != nil }
+
+// SetLog attaches (or, with nil, detaches) the event log sink.
+func (e *Env) SetLog(l *EventLog) { e.log = l }
+
+// Logf records a formatted event attributed to a subsystem. When no sink
+// is attached the call returns before any formatting or event allocation
+// happens; callers assembling expensive arguments should additionally
+// gate on LogEnabled.
 func (e *Env) Logf(subsystem, format string, args ...any) {
+	if e.log == nil {
+		return
+	}
 	e.log.Add(e.now, subsystem, fmt.Sprintf(format, args...))
 }
 

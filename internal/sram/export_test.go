@@ -1,0 +1,8 @@
+package sram
+
+// Test-only accessors.
+
+// SetScalarKernelsForTest forces (or releases) the per-bit reference
+// kernels so the differential tests can drive identical power sequences
+// through both implementations.
+func (a *Array) SetScalarKernelsForTest(scalar bool) { a.scalarKernels = scalar }

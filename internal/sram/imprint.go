@@ -1,6 +1,9 @@
 package sram
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // This file models the data-imprinting ("burn-in") effect behind the
 // §9.2 related-work attacks: when a cell holds the same logic value for
@@ -59,31 +62,51 @@ func (a *Array) Age(years float64, model ImprintModel) {
 	}
 	p := 1 - math.Exp(-years/model.TauYears)
 	st := a.imprint
-	for i := 0; i < a.n; i++ {
-		w, m := i>>6, uint64(1)<<(uint(i)&63)
-		if st.imprinted[w]&m != 0 {
+	for w := range st.imprinted {
+		base := w << 6
+		count := a.n - base
+		if count > 64 {
+			count = 64
+		}
+		full := uint64(1)<<uint(count&63) - 1
+		if count == 64 {
+			full = ^uint64(0)
+		}
+		if st.imprinted[w]&full == full {
+			// Every cell of this word is already imprinted: the scalar
+			// walk would skip each without touching the rng, so the whole
+			// word can be skipped at once.
 			continue
 		}
-		if a.rng.Bernoulli(p) {
-			st.imprinted[w] |= m
-			if a.bit(i) {
-				st.value[w] |= m
+		imprinted, value, data := st.imprinted[w], st.value[w], a.bits[w]
+		for k := 0; k < count; k++ {
+			m := uint64(1) << uint(k)
+			if imprinted&m != 0 {
+				continue
+			}
+			if a.rng.Bernoulli(p) {
+				imprinted |= m
+				value |= data & m
 			}
 		}
+		st.imprinted[w], st.value[w] = imprinted, value
 	}
 	a.env.Logf("sram", "%s: aged %.1f years (imprint onset p=%.2f)", a.name, years, p)
 }
 
-// ImprintedFraction reports the fraction of cells currently imprinted.
+// ImprintedFraction reports the fraction of cells currently imprinted,
+// population-counted per packed word.
 func (a *Array) ImprintedFraction() float64 {
 	if a.imprint == nil {
 		return 0
 	}
 	n := 0
-	for i := 0; i < a.n; i++ {
-		if a.imprint.imprinted[i>>6]&(1<<(uint(i)&63)) != 0 {
-			n++
-		}
+	full := a.n >> 6
+	for w := 0; w < full; w++ {
+		n += bits.OnesCount64(a.imprint.imprinted[w])
+	}
+	if rem := uint(a.n) & 63; rem != 0 {
+		n += bits.OnesCount64(a.imprint.imprinted[full] & (uint64(1)<<rem - 1))
 	}
 	return float64(n) / float64(a.n)
 }

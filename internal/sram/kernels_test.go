@@ -1,0 +1,331 @@
+package sram
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The determinism contract: the word-vectorized kernels must be
+// bit-for-bit identical to the scalar reference model for the same seed —
+// same resulting bits AND same rng stream consumption, so that everything
+// downstream of a power event stays aligned too. The tests drive a pair
+// of same-seed arrays (one forced scalar, one word-vectorized) through
+// identical power sequences and compare physical state after every event.
+
+// diffPair builds two identical arrays, forcing scalar kernels on ref.
+func diffPair(t *testing.T, bits int, seed uint64, tempC float64) (ref, vec *Array, refEnv, vecEnv *sim.Env) {
+	t.Helper()
+	refEnv, vecEnv = sim.NewEnv(), sim.NewEnv()
+	refEnv.SetTemperatureC(tempC)
+	vecEnv.SetTemperatureC(tempC)
+	ref = NewArray(refEnv, "diff", bits, DefaultRetentionModel(), seed)
+	vec = NewArray(vecEnv, "diff", bits, DefaultRetentionModel(), seed)
+	ref.SetScalarKernelsForTest(true)
+	return ref, vec, refEnv, vecEnv
+}
+
+func mustEqualState(t *testing.T, stage string, ref, vec *Array) {
+	t.Helper()
+	if !bytes.Equal(ref.Snapshot(), vec.Snapshot()) {
+		t.Fatalf("%s: word kernel diverged from scalar reference", stage)
+	}
+	// The raw packed words must match too, including any partial tail
+	// word that Snapshot (whole bytes only) does not cover.
+	for w := range ref.bits {
+		if ref.bits[w] != vec.bits[w] {
+			t.Fatalf("%s: packed word %d differs: ref=%#x vec=%#x", stage, w, ref.bits[w], vec.bits[w])
+		}
+	}
+}
+
+// sizes exercise the word-count edges: full words only, a partial tail
+// word, and a sub-word array.
+var diffSizes = []int{64 * 64, 64*64 + 17, 48}
+
+func TestWordKernelsMatchScalarFirstPowerUp(t *testing.T) {
+	for _, seed := range []uint64{1, 0xDEADBEEF, 0xA57A105} {
+		for _, n := range diffSizes {
+			ref, vec, _, _ := diffPair(t, n, seed, 25)
+			ref.SetRail(0.8)
+			vec.SetRail(0.8)
+			mustEqualState(t, "first power-up", ref, vec)
+		}
+	}
+}
+
+func TestWordKernelsMatchScalarPowerCycle(t *testing.T) {
+	for _, seed := range []uint64{7, 0x5EED, 12345} {
+		for _, n := range diffSizes {
+			ref, vec, re, ve := diffPair(t, n, seed, 25)
+			ref.SetRail(0.8)
+			vec.SetRail(0.8)
+			ref.Fill(0xA5)
+			vec.Fill(0xA5)
+			// Three consecutive room-temperature cycles: any divergence in
+			// rng consumption would desynchronize the later cycles.
+			for cycle := 0; cycle < 3; cycle++ {
+				ref.SetRail(0)
+				vec.SetRail(0)
+				re.Advance(10 * sim.Millisecond)
+				ve.Advance(10 * sim.Millisecond)
+				ref.SetRail(0.8)
+				vec.SetRail(0.8)
+				mustEqualState(t, "power cycle", ref, vec)
+			}
+		}
+	}
+}
+
+func TestWordKernelsMatchScalarColdBoot(t *testing.T) {
+	// −110 °C / 20 ms: the partial-survival regime where all three per-cell
+	// hash gates (DRV, retention, bias) are exercised in the same event.
+	for _, seed := range []uint64{3, 0xC01DB007, 999} {
+		for _, n := range diffSizes {
+			ref, vec, re, ve := diffPair(t, n, seed, -110)
+			ref.SetRail(0.8)
+			vec.SetRail(0.8)
+			ref.Fill(0x3C)
+			vec.Fill(0x3C)
+			ref.SetRail(0)
+			vec.SetRail(0)
+			re.Advance(20 * sim.Millisecond)
+			ve.Advance(20 * sim.Millisecond)
+			ref.SetRail(0.8)
+			vec.SetRail(0.8)
+			mustEqualState(t, "cold boot", ref, vec)
+		}
+	}
+}
+
+func TestWordKernelsMatchScalarHeldVoltage(t *testing.T) {
+	// Rail held inside the DRV distribution: survival decided per cell by
+	// the first hash alone for roughly half the population.
+	for _, seed := range []uint64{11, 0xBADCAFE, 31337} {
+		ref, vec, re, ve := diffPair(t, 1<<12, seed, 25)
+		ref.SetRail(0.8)
+		vec.SetRail(0.8)
+		ref.Fill(0xFF)
+		vec.Fill(0xFF)
+		ref.SetRail(0.30)
+		vec.SetRail(0.30)
+		re.Advance(1 * sim.Second)
+		ve.Advance(1 * sim.Second)
+		ref.SetRail(0.8)
+		vec.SetRail(0.8)
+		mustEqualState(t, "held voltage", ref, vec)
+	}
+}
+
+func TestWordKernelsMatchScalarZeroGap(t *testing.T) {
+	// A zero-length excursion: the scalar model scans all cells but decays
+	// none and consumes no rng; the word kernel early-returns. The
+	// follow-up cycle proves the rng streams stayed aligned.
+	ref, vec, re, ve := diffPair(t, 2048, 42, 25)
+	ref.SetRail(0.8)
+	vec.SetRail(0.8)
+	ref.SetRail(0)
+	vec.SetRail(0)
+	ref.SetRail(0.8) // no time passed
+	vec.SetRail(0.8)
+	mustEqualState(t, "zero gap", ref, vec)
+	ref.SetRail(0)
+	vec.SetRail(0)
+	re.Advance(50 * sim.Millisecond)
+	ve.Advance(50 * sim.Millisecond)
+	ref.SetRail(0.8)
+	vec.SetRail(0.8)
+	mustEqualState(t, "post-zero-gap cycle", ref, vec)
+}
+
+func TestWordKernelsMatchScalarWithImprint(t *testing.T) {
+	// Aged arrays route decayed cells through the imprint overlay, which
+	// consumes reveal draws — the most delicate rng-alignment path.
+	for _, seed := range []uint64{5, 0x1312D00D, 77} {
+		ref, vec, re, ve := diffPair(t, 1<<12, seed, 25)
+		ref.SetRail(0.8)
+		vec.SetRail(0.8)
+		ref.Fill(0x96)
+		vec.Fill(0x96)
+		ref.Age(10, DefaultImprintModel())
+		vec.Age(10, DefaultImprintModel())
+		if rf, vf := ref.ImprintedFraction(), vec.ImprintedFraction(); rf != vf {
+			t.Fatalf("imprint fractions differ: %v vs %v", rf, vf)
+		}
+		for cycle := 0; cycle < 2; cycle++ {
+			ref.SetRail(0)
+			vec.SetRail(0)
+			re.Advance(100 * sim.Millisecond)
+			ve.Advance(100 * sim.Millisecond)
+			ref.SetRail(0.8)
+			vec.SetRail(0.8)
+			mustEqualState(t, "imprinted power cycle", ref, vec)
+		}
+		// Incremental aging on top (exercises the fully-imprinted-word
+		// skip in Age) must also stay aligned.
+		ref.Age(25, DefaultImprintModel())
+		vec.Age(25, DefaultImprintModel())
+		ref.SetRail(0)
+		vec.SetRail(0)
+		re.Advance(100 * sim.Millisecond)
+		ve.Advance(100 * sim.Millisecond)
+		ref.SetRail(0.8)
+		vec.SetRail(0.8)
+		mustEqualState(t, "re-aged power cycle", ref, vec)
+	}
+}
+
+func TestFractionOnesTailBits(t *testing.T) {
+	// n deliberately not a multiple of 64: the popcount must mask the tail.
+	env := sim.NewEnv()
+	a := NewArray(env, "tail", 100, DefaultRetentionModel(), 9)
+	a.SetRail(0.8)
+	for i := 0; i < 100; i++ {
+		a.WriteBit(i, i < 25)
+	}
+	if got := a.FractionOnes(); got != 0.25 {
+		t.Fatalf("FractionOnes = %v, want 0.25", got)
+	}
+}
+
+func TestFillTailBytes(t *testing.T) {
+	// Bytes() = 12 for a 100-bit array: the word splat covers 8 bytes, the
+	// byte path the remaining 4; bits 96..99 must be untouched.
+	env := sim.NewEnv()
+	a := NewArray(env, "tail", 100, DefaultRetentionModel(), 10)
+	a.SetRail(0.8)
+	for i := 96; i < 100; i++ {
+		a.WriteBit(i, true)
+	}
+	a.Fill(0x00)
+	for i := 0; i < 96; i++ {
+		if a.ReadBit(i) {
+			t.Fatalf("bit %d not cleared by Fill", i)
+		}
+	}
+	for i := 96; i < 100; i++ {
+		if !a.ReadBit(i) {
+			t.Fatalf("Fill clobbered out-of-byte-range bit %d", i)
+		}
+	}
+	a.Fill(0xB7)
+	got := a.ReadBytes(0, 12)
+	for i, b := range got {
+		if b != 0xB7 {
+			t.Fatalf("byte %d = %#x after Fill(0xB7)", i, b)
+		}
+	}
+}
+
+func TestUnalignedByteAndWordAccess(t *testing.T) {
+	env := sim.NewEnv()
+	a := NewArray(env, "unaligned", 4096, DefaultRetentionModel(), 11)
+	a.SetRail(0.8)
+	a.Fill(0x00)
+	// Unaligned spans crossing multiple word boundaries.
+	payload := make([]byte, 41)
+	for i := range payload {
+		payload[i] = byte(3*i + 1)
+	}
+	a.WriteBytes(13, payload)
+	if got := a.ReadBytes(13, len(payload)); !bytes.Equal(got, payload) {
+		t.Fatalf("unaligned round trip mismatch:\n got %x\nwant %x", got, payload)
+	}
+	// Neighbours untouched.
+	if a.ReadBytes(12, 1)[0] != 0 || a.ReadBytes(13+len(payload), 1)[0] != 0 {
+		t.Fatal("unaligned write clobbered neighbouring bytes")
+	}
+	// Unaligned 64-bit loads/stores against the byte-path ground truth.
+	const v = uint64(0x0123456789ABCDEF)
+	for _, off := range []int{0, 1, 7, 8, 21} {
+		a.Fill(0x11)
+		a.WriteUint64(off, v)
+		if got := a.ReadUint64(off); got != v {
+			t.Fatalf("ReadUint64(%d) = %#x, want %#x", off, got, v)
+		}
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		if got := a.ReadBytes(off, 8); !bytes.Equal(got, b[:]) {
+			t.Fatalf("WriteUint64(%d) bytes = %x, want %x", off, got, b)
+		}
+		if a.ReadBytes(off+8, 1)[0] != 0x11 {
+			t.Fatalf("WriteUint64(%d) clobbered the following byte", off)
+		}
+		if off > 0 && a.ReadBytes(off-1, 1)[0] != 0x11 {
+			t.Fatalf("WriteUint64(%d) clobbered the preceding byte", off)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the kernels the whole evaluation funnels through.
+
+func benchCycleArray(scalar bool) (*Array, *sim.Env) {
+	env := sim.NewEnv()
+	a := NewArray(env, "bench", 64*1024*8, DefaultRetentionModel(), 1)
+	a.scalarKernels = scalar
+	a.SetRail(0.8)
+	return a, env
+}
+
+func benchResolveDecay(b *testing.B, tempC float64, scalar bool) {
+	a, env := benchCycleArray(scalar)
+	env.SetTemperatureC(tempC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SetRail(0)
+		env.Advance(20 * sim.Millisecond)
+		a.SetRail(0.8)
+	}
+}
+
+// BenchmarkResolveDecay measures the decay kernel over a 64 KB array.
+// The −110 °C case is the mixed-survival regime (every hash gate hit);
+// the 25 °C case is total loss (power-up sampling dominates).
+func BenchmarkResolveDecay(b *testing.B) {
+	b.Run("cold-110C", func(b *testing.B) { benchResolveDecay(b, -110, false) })
+	b.Run("room25C", func(b *testing.B) { benchResolveDecay(b, 25, false) })
+}
+
+// BenchmarkResolveDecayScalar is the per-bit reference for comparison.
+func BenchmarkResolveDecayScalar(b *testing.B) {
+	b.Run("cold-110C", func(b *testing.B) { benchResolveDecay(b, -110, true) })
+	b.Run("room25C", func(b *testing.B) { benchResolveDecay(b, 25, true) })
+}
+
+func benchPowerUpAll(b *testing.B, scalar bool) {
+	a, _ := benchCycleArray(scalar)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.powerUpAll()
+	}
+}
+
+// BenchmarkPowerUpAll measures the fingerprint kernel over a 64 KB array.
+func BenchmarkPowerUpAll(b *testing.B)       { benchPowerUpAll(b, false) }
+func BenchmarkPowerUpAllScalar(b *testing.B) { benchPowerUpAll(b, true) }
+
+// BenchmarkFill measures the splat fill across a 64 KB array.
+func BenchmarkFill(b *testing.B) {
+	a, _ := benchCycleArray(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Fill(byte(i))
+	}
+}
+
+// BenchmarkWriteBytes4KB measures the aligned bulk-store path.
+func BenchmarkWriteBytes4KB(b *testing.B) {
+	a, _ := benchCycleArray(false)
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.WriteBytes(0, buf)
+	}
+}

@@ -33,8 +33,10 @@
 package sram
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/sim"
 	"repro/internal/xrand"
@@ -141,6 +143,12 @@ type Array struct {
 	everPowered bool
 	// imprint is the lazily allocated aging overlay (see imprint.go).
 	imprint *imprintState
+	// scalarKernels forces the per-bit reference kernels instead of the
+	// word-vectorized ones. Both produce bit-identical state and consume
+	// the rng stream identically; the flag exists so the differential
+	// tests in kernels_test.go can exercise the reference path. See
+	// kernels.go.
+	scalarKernels bool
 }
 
 // NewArray builds an array of n bits named name. The per-cell silicon
@@ -243,68 +251,6 @@ func (a *Array) SetRail(volts float64) {
 	}
 }
 
-// resolveDecay decides, for every cell, whether its state survived the
-// excursion during which the rail sat at heldVolts (possibly 0). A cell
-// survives if either the held voltage was at or above its personal DRV,
-// or the unpowered interval was shorter than its personal retention time
-// at the excursion temperature.
-func (a *Array) resolveDecay() {
-	elapsed := float64(a.env.Now() - a.belowSince)
-	median := float64(a.model.MedianRetentionAt(a.decayTempK))
-	// A cell survives on time iff elapsed < median·exp(logRet), i.e.
-	// logRet > ln(elapsed/median). One Log call serves the whole array.
-	var logThreshold float64
-	if elapsed <= 0 {
-		logThreshold = math.Inf(-1) // everything survives a zero gap
-	} else {
-		logThreshold = math.Log(elapsed / median)
-	}
-	lost := 0
-	for i := 0; i < a.n; i++ {
-		drv, logRet, biased, preferred := a.cellStatics(i)
-		if a.heldVolts >= drv {
-			continue // rail held above this cell's DRV: perfect retention
-		}
-		if logRet > logThreshold {
-			continue // charge survived the gap
-		}
-		a.powerUpCellWith(i, biased, preferred)
-		lost++
-	}
-	if lost > 0 {
-		a.env.Logf("sram", "%s: %d/%d cells decayed over %s at %.2fV held",
-			a.name, lost, a.n, sim.Time(elapsed), a.heldVolts)
-	}
-}
-
-// powerUpAll samples a fresh power-up fingerprint for every cell.
-func (a *Array) powerUpAll() {
-	for i := 0; i < a.n; i++ {
-		_, _, biased, preferred := a.cellStatics(i)
-		a.powerUpCellWith(i, biased, preferred)
-	}
-	a.env.Logf("sram", "%s: power-up into fingerprint state (%d bits)", a.name, a.n)
-}
-
-// powerUpCellWith samples the power-up value for cell i from its bias,
-// unless long-term imprinting (see imprint.go) decides it first.
-func (a *Array) powerUpCellWith(i int, biased, preferred bool) {
-	if v, decided := a.imprintPowerUp(i); decided {
-		a.setBit(i, v)
-		return
-	}
-	var v bool
-	if biased {
-		v = preferred
-		if a.rng.Bernoulli(a.model.BiasNoise) {
-			v = !v
-		}
-	} else {
-		v = a.rng.Bool()
-	}
-	a.setBit(i, v)
-}
-
 func (a *Array) setBit(i int, v bool) {
 	if v {
 		a.bits[i>>6] |= 1 << (uint(i) & 63)
@@ -336,63 +282,109 @@ func (a *Array) ReadBit(i int) bool {
 	return a.bit(i)
 }
 
-// WriteBytes stores b starting at byte offset off.
+// storeByte stores value v into byte slot j of the packed words. Byte j
+// of the array occupies bits [8j, 8j+8) which sit inside packed word j>>3
+// at shift 8·(j&7) — so byte access is O(1).
+func (a *Array) storeByte(j int, v byte) {
+	shift := 8 * uint(j&7)
+	w := &a.bits[j>>3]
+	*w = (*w &^ (uint64(0xFF) << shift)) | uint64(v)<<shift
+}
+
+// WriteBytes stores b starting at byte offset off. Spans that cover full
+// 64-bit words are stored word-at-a-time; only the unaligned head and
+// tail go through the byte path.
 func (a *Array) WriteBytes(off int, b []byte) {
 	a.checkAccess("WriteBytes")
 	if off < 0 || (off+len(b))*8 > a.n {
 		panic(fmt.Sprintf("sram: WriteBytes out of range on %s: off=%d len=%d size=%dB", a.name, off, len(b), a.Bytes()))
 	}
-	// Byte j of the array occupies bits [8j, 8j+8) which sit inside packed
-	// word j>>3 at shift 8·(j&7) — so byte access is O(1).
-	for i, v := range b {
-		j := off + i
-		shift := 8 * uint(j&7)
-		w := &a.bits[j>>3]
-		*w = (*w &^ (uint64(0xFF) << shift)) | uint64(v)<<shift
+	i, j := 0, off
+	for ; i < len(b) && j&7 != 0; i++ { // head: reach word alignment
+		a.storeByte(j, b[i])
+		j++
+	}
+	for ; i+8 <= len(b); i += 8 { // middle: whole packed words
+		a.bits[j>>3] = binary.LittleEndian.Uint64(b[i:])
+		j += 8
+	}
+	for ; i < len(b); i++ { // tail
+		a.storeByte(j, b[i])
+		j++
 	}
 }
 
-// ReadBytes returns n bytes starting at byte offset off.
+// ReadBytes returns n bytes starting at byte offset off. Like
+// WriteBytes, aligned spans are copied word-at-a-time.
 func (a *Array) ReadBytes(off, n int) []byte {
 	a.checkAccess("ReadBytes")
 	if off < 0 || n < 0 || (off+n)*8 > a.n {
 		panic(fmt.Sprintf("sram: ReadBytes out of range on %s: off=%d len=%d size=%dB", a.name, off, n, a.Bytes()))
 	}
 	out := make([]byte, n)
-	for i := range out {
-		j := off + i
+	i, j := 0, off
+	for ; i < n && j&7 != 0; i++ {
 		out[i] = byte(a.bits[j>>3] >> (8 * uint(j&7)))
+		j++
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(out[i:], a.bits[j>>3])
+		j += 8
+	}
+	for ; i < n; i++ {
+		out[i] = byte(a.bits[j>>3] >> (8 * uint(j&7)))
+		j++
 	}
 	return out
 }
 
-// WriteUint64 stores a 64-bit little-endian word at byte offset off.
+// WriteUint64 stores a 64-bit little-endian word at byte offset off. It
+// is allocation-free: an aligned store is a single packed-word write, an
+// unaligned one touches the two straddled words.
 func (a *Array) WriteUint64(off int, v uint64) {
-	var b [8]byte
-	for i := range b {
-		b[i] = byte(v >> (8 * i))
+	a.checkAccess("WriteUint64")
+	if off < 0 || (off+8)*8 > a.n {
+		panic(fmt.Sprintf("sram: WriteUint64 out of range on %s: off=%d size=%dB", a.name, off, a.Bytes()))
 	}
-	a.WriteBytes(off, b[:])
+	w := off >> 3
+	shift := 8 * uint(off&7)
+	if shift == 0 {
+		a.bits[w] = v
+		return
+	}
+	lowMask := uint64(1)<<shift - 1
+	a.bits[w] = (a.bits[w] & lowMask) | v<<shift
+	a.bits[w+1] = (a.bits[w+1] &^ lowMask) | v>>(64-shift)
 }
 
-// ReadUint64 loads a 64-bit little-endian word from byte offset off.
+// ReadUint64 loads a 64-bit little-endian word from byte offset off
+// without allocating.
 func (a *Array) ReadUint64(off int) uint64 {
-	b := a.ReadBytes(off, 8)
-	var v uint64
-	for i, x := range b {
-		v |= uint64(x) << (8 * i)
+	a.checkAccess("ReadUint64")
+	if off < 0 || (off+8)*8 > a.n {
+		panic(fmt.Sprintf("sram: ReadUint64 out of range on %s: off=%d size=%dB", a.name, off, a.Bytes()))
 	}
-	return v
+	w := off >> 3
+	shift := 8 * uint(off&7)
+	if shift == 0 {
+		return a.bits[w]
+	}
+	return a.bits[w]>>shift | a.bits[w+1]<<(64-shift)
 }
 
-// Fill writes the byte pattern v across the whole array.
+// Fill writes the byte pattern v across the whole array by splatting it
+// into a packed word and storing words directly — no scratch buffer.
 func (a *Array) Fill(v byte) {
 	a.checkAccess("Fill")
-	buf := make([]byte, a.Bytes())
-	for i := range buf {
-		buf[i] = v
+	splat := uint64(v) * 0x0101010101010101
+	nbytes := a.Bytes()
+	nwords := nbytes / 8
+	for w := 0; w < nwords; w++ {
+		a.bits[w] = splat
 	}
-	a.WriteBytes(0, buf)
+	for j := nwords * 8; j < nbytes; j++ { // tail bytes of a non-multiple-of-8 array
+		a.storeByte(j, v)
+	}
 }
 
 // Snapshot returns the full content of the array as bytes. It is the
@@ -403,14 +395,18 @@ func (a *Array) Snapshot() []byte {
 	return a.ReadBytes(0, a.Bytes())
 }
 
-// FractionOnes returns the fraction of 1 bits currently stored.
+// FractionOnes returns the fraction of 1 bits currently stored, counted
+// with a population-count per packed word (the trailing partial word, if
+// any, is masked to the live n bits).
 func (a *Array) FractionOnes() float64 {
 	a.checkAccess("FractionOnes")
 	ones := 0
-	for i := 0; i < a.n; i++ {
-		if a.bit(i) {
-			ones++
-		}
+	full := a.n >> 6
+	for w := 0; w < full; w++ {
+		ones += bits.OnesCount64(a.bits[w])
+	}
+	if rem := uint(a.n) & 63; rem != 0 {
+		ones += bits.OnesCount64(a.bits[full] & (uint64(1)<<rem - 1))
 	}
 	return float64(ones) / float64(a.n)
 }

@@ -11,12 +11,26 @@ package xrand
 
 import "math"
 
+// GoldenGamma is the splitmix64 state increment (2⁶⁴/φ rounded to odd).
+// Exported so batch kernels can jump a splitmix stream to its k-th output
+// without materializing the intermediate states: the state after k steps
+// is simply state + k·GoldenGamma, and the k-th output is Mix64 of that.
+const GoldenGamma uint64 = 0x9e3779b97f4a7c15
+
 // SplitMix64 advances the given state by one step and returns the next
 // 64-bit output. It is used both as a stand-alone generator for cheap
 // one-off derivations and to seed Rand state.
 func SplitMix64(state *uint64) uint64 {
-	*state += 0x9e3779b97f4a7c15
-	z := *state
+	*state += GoldenGamma
+	return Mix64(*state)
+}
+
+// Mix64 is the splitmix64 output finalizer: a bijective avalanche mix of
+// its input. SplitMix64(&st) ≡ { st += GoldenGamma; return Mix64(st) },
+// which lets vectorized code compute the k-th output of a stream as
+// Mix64(st + k·GoldenGamma) and skip outputs it does not need while
+// remaining bit-identical to the sequential construction.
+func Mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
@@ -93,9 +107,12 @@ func (r *Rand) Int63n(n int64) int64 {
 	return int64(r.Uint64() % uint64(n))
 }
 
-// Float64 returns a uniform float64 in [0, 1).
+// Float64 returns a uniform float64 in [0, 1). The scale by 2⁻⁵³ is a
+// multiplication by an exactly-representable power of two, so the result
+// is bit-identical to dividing by 2⁵³ while avoiding a hardware divide on
+// the simulator's hottest sampling path.
 func (r *Rand) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Bool returns a fair coin flip.

@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: vet, build, race-enabled tests (the parallel runner's
+# determinism tests raise GOMAXPROCS themselves, so a single-core CI
+# machine still exercises multi-worker execution), and a one-iteration
+# smoke over the hot-path micro-benchmarks. Equivalent to `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race -short ./..."
+go test -race -short ./...
+
+echo "==> benchmark smoke (1 iteration)"
+go test -run '^$' -bench 'ResolveDecay|PowerUpAll|FractionalHD|FractionOnes' -benchtime 1x ./internal/sram/ ./internal/analysis/
+
+echo "OK"
