@@ -168,6 +168,43 @@ func CountAlignedOccurrences(image []byte, elem []byte) int {
 	return n
 }
 
+// AlignedElementSet is the set of distinct aligned elemSize-byte elements
+// of an image, built once so that membership queries over many candidate
+// elements cost O(1) each instead of rescanning the image. For a query
+// element e, Contains(e) == (CountAlignedOccurrences(image, e) > 0) by
+// construction — Table 4's inner loop asks exactly that question for
+// thousands of candidate elements against the same dump, which made the
+// rescan quadratic.
+type AlignedElementSet struct {
+	elemSize int
+	set      map[string]struct{}
+}
+
+// NewAlignedElementSet indexes the aligned elemSize-byte elements of
+// image. A trailing partial element is ignored, mirroring
+// CountAlignedOccurrences's loop bound.
+func NewAlignedElementSet(image []byte, elemSize int) *AlignedElementSet {
+	s := &AlignedElementSet{elemSize: elemSize}
+	if elemSize <= 0 || len(image) < elemSize {
+		return s
+	}
+	s.set = make(map[string]struct{}, len(image)/elemSize)
+	for i := 0; i+elemSize <= len(image); i += elemSize {
+		s.set[string(image[i:i+elemSize])] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether elem appears at any aligned offset of the
+// indexed image. elem must have the set's element size.
+func (s *AlignedElementSet) Contains(elem []byte) bool {
+	if len(elem) != s.elemSize || s.set == nil {
+		return false
+	}
+	_, ok := s.set[string(elem)] // no allocation: map lookup special case
+	return ok
+}
+
 // ShannonEntropy returns the byte-level entropy of data in bits per byte
 // (0–8). Uninitialized SRAM scores near 8; a NOP sled scores near 0.
 func ShannonEntropy(data []byte) float64 {

@@ -281,3 +281,36 @@ func TestFlipDirectionsDistinguishDecayRegimes(t *testing.T) {
 		t.Fatalf("sram regime should be balanced: %d/%d", z2o, o2z)
 	}
 }
+
+// TestAlignedElementSetMatchesCount pins the indexed membership test to
+// the scan it replaces in Table 4's inner loop.
+func TestAlignedElementSetMatchesCount(t *testing.T) {
+	image := make([]byte, 128)
+	for i := range image {
+		image[i] = byte(i % 7)
+	}
+	// Plant two recognizable elements, one aligned, one misaligned.
+	copy(image[16:], []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	copy(image[33:], []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	set := NewAlignedElementSet(image, 8)
+	probes := [][]byte{
+		{1, 2, 3, 4, 5, 6, 7, 8}, // aligned: present
+		{9, 9, 9, 9, 9, 9, 9, 9}, // misaligned only: absent
+		image[0:8], image[8:16],  // aligned slots
+		{0xFF, 0, 0, 0, 0, 0, 0, 0}, // absent
+		image[120:128],              // last aligned slot
+	}
+	for _, e := range probes {
+		want := CountAlignedOccurrences(image, e) > 0
+		if got := set.Contains(e); got != want {
+			t.Errorf("Contains(%v) = %v, CountAlignedOccurrences > 0 = %v", e, got, want)
+		}
+	}
+	if set.Contains([]byte{1, 2, 3}) {
+		t.Error("Contains must reject elements of the wrong size")
+	}
+	empty := NewAlignedElementSet(nil, 8)
+	if empty.Contains(make([]byte, 8)) {
+		t.Error("empty image must contain nothing")
+	}
+}

@@ -154,6 +154,26 @@ type Cache struct {
 	lastUse [][]uint64
 	useTick uint64
 
+	// scratch is a reusable LineBytes buffer for fills, writebacks and
+	// bypasses, so the hot path never calls make. Like lastUse it is
+	// derived state: it holds no architectural content between calls and
+	// deliberately lives outside the SRAM retention physics. Reentrancy
+	// is safe because each cache level owns its own scratch and every
+	// use is complete before the next backing call that could recurse
+	// into this cache.
+	scratch []byte
+
+	// contentGen counts every event that can change what a fetch through
+	// this cache observes: fills, evictions, writes, maintenance ops, and
+	// enable toggles. The SoC's predecoded i-stream keys its entries on
+	// this counter (plus its own mutation counter), so any such event
+	// invalidates all predecoded instructions served through this cache.
+	// LRU touches do not bump it — they change replacement order, not
+	// content — which is what lets straight-line loops keep their
+	// predecode entries hot. Monotonic, derived state, never stored in
+	// SRAM.
+	contentGen uint64
+
 	stats Stats
 }
 
@@ -171,6 +191,7 @@ func New(env *sim.Env, cfg Config, model sram.RetentionModel, seed uint64, backi
 		dataRAM:    make([]*sram.Array, cfg.Ways),
 		lockedWays: make([]bool, cfg.Ways),
 		lastUse:    make([][]uint64, cfg.Ways),
+		scratch:    make([]byte, cfg.LineBytes),
 	}
 	for w := range c.lastUse {
 		c.lastUse[w] = make([]uint64, sets)
@@ -198,8 +219,16 @@ func (c *Cache) Arrays() []*sram.Array {
 func (c *Cache) Enabled() bool { return c.enabled }
 
 // SetEnabled turns allocation on or off. Disabling does not flush: that
-// is the software's job (and the attacker's opportunity).
-func (c *Cache) SetEnabled(on bool) { c.enabled = on }
+// is the software's job (and the attacker's opportunity). Toggling
+// changes fetch routing, so it invalidates predecoded instructions.
+func (c *Cache) SetEnabled(on bool) {
+	c.enabled = on
+	c.contentGen++
+}
+
+// ContentGen returns the monotonic content-generation counter. See the
+// field comment; consumers treat any change as "refetch everything".
+func (c *Cache) ContentGen() uint64 { return c.contentGen }
 
 // LockWay marks a way as non-evictable.
 func (c *Cache) LockWay(w int, locked bool) { c.lockedWays[w] = locked }
@@ -250,17 +279,16 @@ func (c *Cache) victim(set int) (int, error) {
 			return w, nil
 		}
 	}
-	best, bestUse := -1, ^uint64(0)
+	best, bestUse := -1, uint64(0)
 	for w := 0; w < c.cfg.Ways; w++ {
 		if c.lockedWays[w] {
 			continue
 		}
-		if c.lastUse[w][set] <= bestUse {
-			// <= so the scan is deterministic and prefers higher ways on
-			// ties, matching the pre-LRU behaviour tests rely on.
-			if c.lastUse[w][set] < bestUse || best < 0 {
-				best, bestUse = w, c.lastUse[w][set]
-			}
+		// Strict < keeps the lowest unlocked way on equal timestamps —
+		// the tie-break order the replacement tests pin. (Ties only occur
+		// for never-touched ways; touch assigns unique ticks.)
+		if u := c.lastUse[w][set]; best < 0 || u < bestUse {
+			best, bestUse = w, u
 		}
 	}
 	if best < 0 {
@@ -273,6 +301,25 @@ func (c *Cache) victim(set int) (int, error) {
 func (c *Cache) touch(way, set int) {
 	c.useTick++
 	c.lastUse[way][set] = c.useTick
+}
+
+// TouchFetchHit replays the microarchitectural side effects of a hit at
+// (way, set) — the hit counter and the LRU touch — without re-reading
+// the RAMs. The SoC's predecoded i-stream calls it on a predecode hit so
+// replacement order and event counters stay bit-identical to the full
+// fetch path it short-circuits.
+func (c *Cache) TouchFetchHit(way, set int) {
+	c.stats.Hits++
+	c.touch(way, set)
+}
+
+// ResidentWaySet probes, without side effects, whether addr is resident
+// and in which (way, set). The predecoded i-stream keys its entries on
+// the answer.
+func (c *Cache) ResidentWaySet(addr uint64) (way, set int, ok bool) {
+	tag, s, _ := c.index(addr)
+	w := c.lookup(tag, s)
+	return w, s, w >= 0
 }
 
 func (c *Cache) lineAddr(tag uint64, set int) uint64 {
@@ -288,11 +335,11 @@ func (c *Cache) fill(tag uint64, set int, secure bool) (int, error) {
 	}
 	if e := c.tagEntry(w, set); e&tagValidBit != 0 && e&tagDirtyBit != 0 {
 		victimAddr := c.lineAddr(e&tagMask, set)
-		buf := c.dataRAM[w].ReadBytes(set*c.cfg.LineBytes, c.cfg.LineBytes)
+		c.dataRAM[w].ReadBytesInto(set*c.cfg.LineBytes, c.scratch)
 		if c.cfg.InlineECC {
-			eccDecodeLine(buf)
+			eccDecodeLine(c.scratch)
 		}
-		if err := c.backing.WriteLine(victimAddr, buf); err != nil {
+		if err := c.backing.WriteLine(victimAddr, c.scratch); err != nil {
 			return 0, fmt.Errorf("cache %s: writeback of %#x: %w", c.cfg.Name, victimAddr, err)
 		}
 		c.stats.Writebacks++
@@ -300,19 +347,19 @@ func (c *Cache) fill(tag uint64, set int, secure bool) (int, error) {
 	if c.tagEntry(w, set)&tagValidBit != 0 {
 		c.stats.Evictions++
 	}
-	buf := make([]byte, c.cfg.LineBytes)
-	if err := c.backing.ReadLine(c.lineAddr(tag, set), buf); err != nil {
+	if err := c.backing.ReadLine(c.lineAddr(tag, set), c.scratch); err != nil {
 		return 0, fmt.Errorf("cache %s: fill of %#x: %w", c.cfg.Name, c.lineAddr(tag, set), err)
 	}
 	if c.cfg.InlineECC {
-		eccEncodeLine(buf)
+		eccEncodeLine(c.scratch)
 	}
-	c.dataRAM[w].WriteBytes(set*c.cfg.LineBytes, buf)
+	c.dataRAM[w].WriteBytes(set*c.cfg.LineBytes, c.scratch)
 	entry := tag | tagValidBit
 	if !secure {
 		entry |= tagNSBit
 	}
 	c.setTagEntry(w, set, entry)
+	c.contentGen++
 	return w, nil
 }
 
@@ -345,20 +392,12 @@ func (c *Cache) Access(addr uint64, size int, write bool, wdata uint64, secure b
 		return c.accessECC(w, set, base, size, write, wdata)
 	}
 	if write {
-		buf := make([]byte, size)
-		for i := range buf {
-			buf[i] = byte(wdata >> (8 * i))
-		}
-		c.dataRAM[w].WriteBytes(base, buf)
+		c.dataRAM[w].WriteUintN(base, size, wdata)
 		c.setTagEntry(w, set, c.tagEntry(w, set)|tagDirtyBit)
+		c.contentGen++
 		return 0, nil
 	}
-	buf := c.dataRAM[w].ReadBytes(base, size)
-	var v uint64
-	for i, b := range buf {
-		v |= uint64(b) << (8 * i)
-	}
-	return v, nil
+	return c.dataRAM[w].ReadUintN(base, size), nil
 }
 
 // accessECC performs an architectural access to an InlineECC data RAM:
@@ -367,31 +406,33 @@ func (c *Cache) Access(addr uint64, size int, write bool, wdata uint64, secure b
 // Accesses operate on the 4-byte codeword(s) covering the request.
 func (c *Cache) accessECC(w, set, base, size int, write bool, wdata uint64) (uint64, error) {
 	wordBase := base &^ 3
-	span := (base + size + 3) &^ 3
-	raw := c.dataRAM[w].ReadBytes(wordBase, span-wordBase)
-	plain := make([]byte, len(raw))
-	for i := 0; i+4 <= len(raw); i += 4 {
-		word := uint32(raw[i]) | uint32(raw[i+1])<<8 | uint32(raw[i+2])<<16 | uint32(raw[i+3])<<24
-		dec := ECCDecodeWord(word)
-		plain[i], plain[i+1], plain[i+2], plain[i+3] = byte(dec), byte(dec>>8), byte(dec>>16), byte(dec>>24)
-	}
-	off := base - wordBase
+	span := (base+size+3)&^3 - wordBase // 4, 8 or 12 bytes: ≤3 codewords
+	off := base - wordBase              // request start within the span
+	arr := c.dataRAM[w]
 	if write {
-		for i := 0; i < size; i++ {
-			plain[off+i] = byte(wdata >> (8 * i))
+		for i := 0; i < span; i += 4 {
+			dec := ECCDecodeWord(uint32(arr.ReadUintN(wordBase+i, 4)))
+			// Overlay the request bytes covering this codeword.
+			for k := 0; k < 4; k++ {
+				if j := i + k - off; j >= 0 && j < size {
+					shift := uint(8 * k)
+					dec = dec&^(0xFF<<shift) | uint32(byte(wdata>>(8*uint(j))))<<shift
+				}
+			}
+			arr.WriteUintN(wordBase+i, 4, uint64(ECCEncodeWord(dec)))
 		}
-		for i := 0; i+4 <= len(plain); i += 4 {
-			word := uint32(plain[i]) | uint32(plain[i+1])<<8 | uint32(plain[i+2])<<16 | uint32(plain[i+3])<<24
-			enc := ECCEncodeWord(word)
-			raw[i], raw[i+1], raw[i+2], raw[i+3] = byte(enc), byte(enc>>8), byte(enc>>16), byte(enc>>24)
-		}
-		c.dataRAM[w].WriteBytes(wordBase, raw)
 		c.setTagEntry(w, set, c.tagEntry(w, set)|tagDirtyBit)
+		c.contentGen++
 		return 0, nil
 	}
 	var v uint64
-	for i := 0; i < size; i++ {
-		v |= uint64(plain[off+i]) << (8 * i)
+	for i := 0; i < span; i += 4 {
+		dec := ECCDecodeWord(uint32(arr.ReadUintN(wordBase+i, 4)))
+		for k := 0; k < 4; k++ {
+			if j := i + k - off; j >= 0 && j < size {
+				v |= uint64(byte(dec>>(8*uint(k)))) << (8 * uint(j))
+			}
+		}
 	}
 	return v, nil
 }
@@ -415,11 +456,11 @@ func eccDecodeLine(buf []byte) {
 }
 
 // bypass routes an access around the disabled cache: read-modify-write of
-// the backing line.
+// the backing line through the reusable scratch buffer.
 func (c *Cache) bypass(addr uint64, size int, write bool, wdata uint64) (uint64, error) {
 	lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
 	off := int(addr - lineAddr)
-	buf := make([]byte, c.cfg.LineBytes)
+	buf := c.scratch
 	if err := c.backing.ReadLine(lineAddr, buf); err != nil {
 		return 0, err
 	}
@@ -437,35 +478,63 @@ func (c *Cache) bypass(addr uint64, size int, write bool, wdata uint64) (uint64,
 }
 
 // ReadLine implements Backing, letting this cache serve as the next level
-// for an inner cache (L1 → L2).
+// for an inner cache (L1 → L2). When the inner line matches this cache's
+// own geometry — the common case; every modelled device uses 64-byte
+// lines at every level — the transfer happens at line granularity: one
+// lookup, one fill or hit, one LRU touch, one bulk data-RAM copy, instead
+// of eight recursive 8-byte Accesses. The architectural outcome is
+// identical: the same line is resident afterwards with the same content,
+// and collapsing eight consecutive LRU touches of one (way, set) into one
+// preserves the relative recency order that victim selection depends on.
 func (c *Cache) ReadLine(addr uint64, buf []byte) error {
-	if len(buf) != c.cfg.LineBytes {
-		// Inner line size differs; fall back to word loop.
-		for i := 0; i < len(buf); i += 8 {
-			v, err := c.Access(addr+uint64(i), 8, false, 0, false)
-			if err != nil {
-				return err
-			}
-			for k := 0; k < 8 && i+k < len(buf); k++ {
-				buf[i+k] = byte(v >> (8 * k))
-			}
-		}
-		return nil
+	if len(buf) == c.cfg.LineBytes && addr&uint64(c.cfg.LineBytes-1) == 0 {
+		return c.readLineFast(addr, buf)
 	}
+	// Inner line size or alignment differs; fall back to the word loop.
 	for i := 0; i < len(buf); i += 8 {
 		v, err := c.Access(addr+uint64(i), 8, false, 0, false)
 		if err != nil {
 			return err
 		}
-		for k := 0; k < 8; k++ {
+		for k := 0; k < 8 && i+k < len(buf); k++ {
 			buf[i+k] = byte(v >> (8 * k))
 		}
 	}
 	return nil
 }
 
-// WriteLine implements Backing.
+func (c *Cache) readLineFast(addr uint64, buf []byte) error {
+	if !c.enabled {
+		c.stats.Bypasses++
+		return c.backing.ReadLine(addr, buf)
+	}
+	tag, set, _ := c.index(addr)
+	w := c.lookup(tag, set)
+	if w < 0 {
+		c.stats.Misses++
+		var err error
+		if w, err = c.fill(tag, set, false); err != nil {
+			return err
+		}
+	} else {
+		c.stats.Hits++
+	}
+	c.touch(w, set)
+	c.dataRAM[w].ReadBytesInto(set*c.cfg.LineBytes, buf)
+	if c.cfg.InlineECC {
+		eccDecodeLine(buf)
+	}
+	return nil
+}
+
+// WriteLine implements Backing. Like ReadLine, a geometry-matched full
+// line goes through a single allocate-and-overwrite instead of eight
+// read-modify-write Accesses; the fill-on-write-miss is kept so the
+// victim choice and writeback sequence match the word loop exactly.
 func (c *Cache) WriteLine(addr uint64, buf []byte) error {
+	if len(buf) == c.cfg.LineBytes && addr&uint64(c.cfg.LineBytes-1) == 0 {
+		return c.writeLineFast(addr, buf)
+	}
 	for i := 0; i < len(buf); i += 8 {
 		var v uint64
 		for k := 0; k < 8 && i+k < len(buf); k++ {
@@ -478,9 +547,43 @@ func (c *Cache) WriteLine(addr uint64, buf []byte) error {
 	return nil
 }
 
+func (c *Cache) writeLineFast(addr uint64, buf []byte) error {
+	if !c.enabled {
+		// The word loop's bypass would read-modify-write the backing
+		// line; a full-line overwrite makes the read redundant.
+		c.stats.Bypasses++
+		return c.backing.WriteLine(addr, buf)
+	}
+	tag, set, _ := c.index(addr)
+	w := c.lookup(tag, set)
+	if w < 0 {
+		c.stats.Misses++
+		var err error
+		if w, err = c.fill(tag, set, false); err != nil {
+			return err
+		}
+	} else {
+		c.stats.Hits++
+	}
+	c.touch(w, set)
+	if c.cfg.InlineECC {
+		// Encode into scratch so the caller's buffer is not mutated.
+		// fill has finished with scratch by this point.
+		copy(c.scratch, buf)
+		eccEncodeLine(c.scratch)
+		c.dataRAM[w].WriteBytes(set*c.cfg.LineBytes, c.scratch)
+	} else {
+		c.dataRAM[w].WriteBytes(set*c.cfg.LineBytes, buf)
+	}
+	c.setTagEntry(w, set, c.tagEntry(w, set)|tagDirtyBit)
+	c.contentGen++
+	return nil
+}
+
 // CleanInvalidateAll writes back every dirty line and clears all valid
 // bits. Data RAM contents are untouched — the paper's key observation.
 func (c *Cache) CleanInvalidateAll() error {
+	c.contentGen++
 	for w := 0; w < c.cfg.Ways; w++ {
 		for s := 0; s < c.sets; s++ {
 			e := c.tagEntry(w, s)
@@ -488,11 +591,11 @@ func (c *Cache) CleanInvalidateAll() error {
 				continue
 			}
 			if e&tagDirtyBit != 0 {
-				buf := c.dataRAM[w].ReadBytes(s*c.cfg.LineBytes, c.cfg.LineBytes)
+				c.dataRAM[w].ReadBytesInto(s*c.cfg.LineBytes, c.scratch)
 				if c.cfg.InlineECC {
-					eccDecodeLine(buf)
+					eccDecodeLine(c.scratch)
 				}
-				if err := c.backing.WriteLine(c.lineAddr(e&tagMask, s), buf); err != nil {
+				if err := c.backing.WriteLine(c.lineAddr(e&tagMask, s), c.scratch); err != nil {
 					return err
 				}
 				c.stats.Writebacks++
@@ -506,6 +609,7 @@ func (c *Cache) CleanInvalidateAll() error {
 // InvalidateAll clears every valid bit without writing anything back
 // (IC IALLU semantics for i-caches). Data RAM contents are untouched.
 func (c *Cache) InvalidateAll() {
+	c.contentGen++
 	for w := 0; w < c.cfg.Ways; w++ {
 		for s := 0; s < c.sets; s++ {
 			e := c.tagEntry(w, s)
@@ -524,13 +628,14 @@ func (c *Cache) CleanInvalidateVA(addr uint64) error {
 	if w < 0 {
 		return nil
 	}
+	c.contentGen++
 	e := c.tagEntry(w, set)
 	if e&tagDirtyBit != 0 {
-		buf := c.dataRAM[w].ReadBytes(set*c.cfg.LineBytes, c.cfg.LineBytes)
+		c.dataRAM[w].ReadBytesInto(set*c.cfg.LineBytes, c.scratch)
 		if c.cfg.InlineECC {
-			eccDecodeLine(buf)
+			eccDecodeLine(c.scratch)
 		}
-		if err := c.backing.WriteLine(c.lineAddr(tag, set), buf); err != nil {
+		if err := c.backing.WriteLine(c.lineAddr(tag, set), c.scratch); err != nil {
 			return err
 		}
 		c.stats.Writebacks++
@@ -547,8 +652,12 @@ func (c *Cache) ZeroLineVA(addr uint64, secure bool) error {
 		// Architecturally DC ZVA with the cache off zeroes memory
 		// directly.
 		lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
-		return c.backing.WriteLine(lineAddr, make([]byte, c.cfg.LineBytes))
+		for i := range c.scratch {
+			c.scratch[i] = 0
+		}
+		return c.backing.WriteLine(lineAddr, c.scratch)
 	}
+	c.contentGen++
 	tag, set, _ := c.index(addr)
 	w := c.lookup(tag, set)
 	if w < 0 {
@@ -560,19 +669,21 @@ func (c *Cache) ZeroLineVA(addr uint64, secure bool) error {
 			return err
 		}
 		if e := c.tagEntry(w, set); e&tagValidBit != 0 && e&tagDirtyBit != 0 {
-			buf := c.dataRAM[w].ReadBytes(set*c.cfg.LineBytes, c.cfg.LineBytes)
+			c.dataRAM[w].ReadBytesInto(set*c.cfg.LineBytes, c.scratch)
 			if c.cfg.InlineECC {
-				eccDecodeLine(buf)
+				eccDecodeLine(c.scratch)
 			}
-			if err := c.backing.WriteLine(c.lineAddr(e&tagMask, set), buf); err != nil {
+			if err := c.backing.WriteLine(c.lineAddr(e&tagMask, set), c.scratch); err != nil {
 				return err
 			}
 			c.stats.Writebacks++
 		}
 	}
 	// The all-zero line is its own ECC encoding (parity of zero is zero),
-	// so no transform is needed here even for InlineECC RAMs.
-	c.dataRAM[w].WriteBytes(set*c.cfg.LineBytes, make([]byte, c.cfg.LineBytes))
+	// so zero words can be stored directly even for InlineECC RAMs.
+	for i := 0; i < c.cfg.LineBytes; i += 8 {
+		c.dataRAM[w].WriteUint64(set*c.cfg.LineBytes+i, 0)
+	}
 	entry := tag | tagValidBit | tagDirtyBit
 	if !secure {
 		entry |= tagNSBit

@@ -455,11 +455,102 @@ func TestAccessRoundTripProperty(t *testing.T) {
 	}
 }
 
-func BenchmarkCacheHit(b *testing.B) {
+// TestVictimTieBreakOrder pins the replacement tie-break: among unlocked
+// ways with equal LRU timestamps the lowest way wins, and locks are
+// honoured before recency. Guards the simplified single-condition scan.
+func TestVictimTieBreakOrder(t *testing.T) {
+	cfg := Config{Name: "ways4", SizeBytes: 4 * 4 * 64, Ways: 4, LineBytes: 64} // 4 sets
+	c, _, _ := newTestCache(t, cfg)
+	// Make every way of set 0 valid so the invalid-way shortcut is out of
+	// play: four distinct lines mapping to set 0.
+	for k := 0; k < 4; k++ {
+		if _, err := c.Access(uint64(k)*4*64, 8, false, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All timestamps equal: lowest unlocked way must win.
+	for w := 0; w < 4; w++ {
+		c.lastUse[w][0] = 7
+	}
+	if w, err := c.victim(0); err != nil || w != 0 {
+		t.Fatalf("victim on all-tie = (%d, %v), want way 0", w, err)
+	}
+	c.LockWay(0, true)
+	if w, err := c.victim(0); err != nil || w != 1 {
+		t.Fatalf("victim with way0 locked = (%d, %v), want way 1", w, err)
+	}
+	// Partial tie: ways 2 and 3 older than 1; lowest of the tied pair wins.
+	c.lastUse[1][0] = 9
+	c.lastUse[2][0] = 3
+	c.lastUse[3][0] = 3
+	if w, err := c.victim(0); err != nil || w != 2 {
+		t.Fatalf("victim on partial tie = (%d, %v), want way 2", w, err)
+	}
+	// Strictly older way wins regardless of position.
+	c.lastUse[3][0] = 1
+	if w, err := c.victim(0); err != nil || w != 3 {
+		t.Fatalf("victim on strict LRU = (%d, %v), want way 3", w, err)
+	}
+	// Everything locked is an error.
+	for w := 0; w < 4; w++ {
+		c.LockWay(w, true)
+	}
+	if _, err := c.victim(0); err == nil {
+		t.Fatal("victim with all ways locked must fail")
+	}
+}
+
+// TestAccessHitPathAllocFree pins the 0 allocs/op contract on steady-state
+// hits — the property the execution fast path is built on.
+func TestAccessHitPathAllocFree(t *testing.T) {
+	for _, ecc := range []bool{false, true} {
+		cfg := paperL1D()
+		cfg.InlineECC = ecc
+		c, _, _ := newTestCache(t, cfg)
+		if _, err := c.Access(0, 8, true, 0x1122334455667788, false); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := c.Access(0, 8, false, 0, false); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Access(8, 4, true, 0xABCD, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("InlineECC=%v: hit path allocates %.1f/op, want 0", ecc, allocs)
+		}
+	}
+}
+
+// TestLineTransferAllocFree pins 0 allocs/op on steady-state full-line
+// transfers (the L1→L2 fill/writeback path).
+func TestLineTransferAllocFree(t *testing.T) {
+	c, _, _ := newTestCache(t, paperL1D())
+	buf := make([]byte, 64)
+	if err := c.WriteLine(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.ReadLine(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteLine(0, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("line transfer hit path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkCacheAccessHit(b *testing.B) {
 	c, _, _ := newTestCache(b, paperL1D())
 	if _, err := c.Access(0, 8, true, 1, false); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Access(0, 8, false, 0, false); err != nil {
@@ -468,8 +559,9 @@ func BenchmarkCacheHit(b *testing.B) {
 	}
 }
 
-func BenchmarkCacheMissFill(b *testing.B) {
+func BenchmarkCacheAccessMiss(b *testing.B) {
 	c, _, _ := newTestCache(b, paperL1D())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Access(uint64(i)*64, 8, false, 0, false); err != nil {

@@ -21,6 +21,7 @@
 package dram
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -75,16 +76,34 @@ type Module struct {
 	// Byte granularity (rather than bit) keeps 1 GB modules tractable and
 	// loses nothing: the attack statistics operate on error fractions far
 	// above the within-byte correlation this introduces.
+	//
+	// The slice is filled lazily by ensureRetention on the first power-up
+	// whose outage could plausibly decay a byte. The module's rng serves
+	// this fill and nothing else, so deferring the NormFloat64 draws
+	// produces bit-identical values — most simulated SoCs only ever see
+	// zero-length DRAM outages (the rails bounce during construction and
+	// boot without simulated time passing) and never pay for the fill.
 	logRetention []float32
-	// minLogRet is the smallest logRetention value, captured during the
-	// fill. PowerOn uses it to recognize outages that cannot decay any
-	// byte without touching the per-byte data.
+	// minLogRet/maxLogRet bound the logRetention values, captured during
+	// the fill. PowerOn uses them to recognize the two extreme outages
+	// without touching the per-byte data: one too short to decay any byte
+	// (minLogRet) and one that outlives every byte (maxLogRet — the Volt
+	// Boot half-second cycle against second-scale DRAM medians).
 	minLogRet float32
+	maxLogRet float32
 
 	powered bool
 	// offSince/offTempK track the current unpowered interval.
 	offSince sim.Time
 	offTempK float64
+
+	// gen counts every event that can change the module's observable
+	// contents: writes, writebacks, and power transitions. Consumers that
+	// cache derived views of DRAM can use it as a coarse "anything moved"
+	// signal. (The SoC's predecoded i-stream deliberately does NOT key on
+	// it — uncached store loops would thrash the table — and re-verifies
+	// the fetched word instead.) Plain derived state, not physics.
+	gen uint64
 }
 
 // NewModule creates a DRAM module of size bytes. It starts powered with
@@ -95,24 +114,38 @@ func NewModule(env *sim.Env, name string, size int, model RetentionModel, seed u
 		panic("dram: module size must be positive")
 	}
 	m := &Module{
-		name:         name,
-		env:          env,
-		model:        model,
-		rng:          xrand.Derive(seed, "dram:"+name),
-		data:         make([]byte, size),
-		logRetention: make([]float32, size),
-		powered:      true,
-	}
-	m.minLogRet = float32(math.Inf(1))
-	for i := range m.logRetention {
-		lr := float32(model.RetentionSigma * m.rng.NormFloat64())
-		m.logRetention[i] = lr
-		if lr < m.minLogRet {
-			m.minLogRet = lr
-		}
+		name:    name,
+		env:     env,
+		model:   model,
+		rng:     xrand.Derive(seed, "dram:"+name),
+		data:    make([]byte, size),
+		powered: true,
 	}
 	m.fillGround(m.data, 0)
 	return m
+}
+
+// ensureRetention draws the per-byte retention multipliers on first need.
+// The draws consume the module's dedicated rng stream in construction
+// order, so the values are identical whether generated here or eagerly in
+// NewModule — deferral only skips work for modules whose outages are all
+// zero-length.
+func (m *Module) ensureRetention() {
+	if m.logRetention != nil {
+		return
+	}
+	m.logRetention = make([]float32, len(m.data))
+	m.rng.FillNormFloat32(m.logRetention, m.model.RetentionSigma)
+	m.minLogRet = float32(math.Inf(1))
+	m.maxLogRet = float32(math.Inf(-1))
+	for _, lr := range m.logRetention {
+		if lr < m.minLogRet {
+			m.minLogRet = lr
+		}
+		if lr > m.maxLogRet {
+			m.maxLogRet = lr
+		}
+	}
 }
 
 // fillGround writes the ground pattern for byte offsets [off, off+len(dst))
@@ -147,6 +180,11 @@ func (m *Module) Size() int { return len(m.data) }
 // Powered reports whether the module is receiving power (and refresh).
 func (m *Module) Powered() bool { return m.powered }
 
+// Gen returns the monotonic content-generation counter: it advances on
+// every write, writeback, and power transition. Consumers (the SoC's
+// predecode cache) treat any change as "refetch everything".
+func (m *Module) Gen() uint64 { return m.gen }
+
 // groundByte is the value byte i decays toward.
 func (m *Module) groundByte(i int) byte {
 	if (i/m.model.GroundBlockBytes)%2 == 1 {
@@ -162,6 +200,7 @@ func (m *Module) PowerOff() {
 		return
 	}
 	m.powered = false
+	m.gen++
 	m.offSince = m.env.Now()
 	m.offTempK = m.env.TemperatureK()
 	m.env.Logf("dram", "%s power off at %.1f°C", m.name, m.env.TemperatureC())
@@ -185,6 +224,7 @@ func (m *Module) PowerOn() {
 		return
 	}
 	m.powered = true
+	m.gen++
 	elapsed := float64(m.env.Now() - m.offSince)
 	median := float64(m.model.MedianRetentionAt(m.offTempK))
 	// Degenerate medians fall out of the float semantics: median 0 gives
@@ -193,6 +233,16 @@ func (m *Module) PowerOn() {
 	// false, again decaying everything).
 	logEl := math.Log(elapsed / median)
 	const band = 1e-9
+	if math.IsInf(logEl, -1) {
+		// Zero-length outage (or one vanishingly short next to the median):
+		// no byte's elapsed ≥ median·exp(lr) predicate can fire, so skip
+		// even the lazy retention fill. The original per-byte loop and the
+		// minLogRet short-circuit both reach this same conclusion, since
+		// every finite lr exceeds −∞.
+		m.env.Logf("dram", "%s power on: 0/%d bytes decayed to ground", m.name, len(m.data))
+		return
+	}
+	m.ensureRetention()
 	if float64(m.minLogRet) > logEl+band {
 		// Even the leakiest byte outlives the outage: nothing decays.
 		m.env.Logf("dram", "%s power on: 0/%d bytes decayed to ground", m.name, len(m.data))
@@ -200,20 +250,118 @@ func (m *Module) PowerOn() {
 	}
 	decayed := 0
 	lo, hi := logEl-band, logEl+band
-	for i, lr := range m.logRetention {
-		x := float64(lr)
-		if x > hi {
-			continue // retention clearly exceeds the outage
+	if float64(m.maxLogRet) < lo {
+		// Even the stickiest byte's retention sits strictly below the safety
+		// band: every byte fails both per-byte predicates below (x > hi is
+		// impossible since x ≤ maxLogRet < lo ≤ hi, and so is x ≥ lo), so the
+		// whole module decays to ground. This is the Volt Boot regime — a
+		// half-second outage against second-scale medians leaves no
+		// survivors only when the die is warm enough, which maxLogRet
+		// certifies exactly — and it reduces the walk to a ground-pattern
+		// compare-and-restore with no float loads at all. The decayed count
+		// (bytes that differed from ground) is identical by construction.
+		g := m.model.GroundBlockBytes
+		for start := 0; start < len(m.data); start += g {
+			end := start + g
+			if end > len(m.data) {
+				end = len(m.data)
+			}
+			var gb byte
+			var gw uint64
+			if (start/g)%2 == 1 {
+				gb, gw = 0xFF, ^uint64(0)
+			}
+			data := m.data[start:end]
+			j := 0
+			for ; j+8 <= len(data); j += 8 {
+				if binary.LittleEndian.Uint64(data[j:]) == gw {
+					continue // already ground state
+				}
+				for k := j; k < j+8; k++ {
+					if data[k] != gb {
+						data[k] = gb
+						decayed++
+					}
+				}
+			}
+			for ; j < len(data); j++ {
+				if data[j] != gb {
+					data[j] = gb
+					decayed++
+				}
+			}
 		}
-		if x >= lo && elapsed < median*math.Exp(x) {
-			continue // inside the band: exact original check says it survived
+		m.env.Logf("dram", "%s power on: %d/%d bytes decayed to ground", m.name, decayed, len(m.data))
+		return
+	}
+	// Walk ground blocks so the target value is a constant per inner loop
+	// instead of a per-byte block-index division. The float64 thresholds
+	// are translated once into exact float32-space equivalents — the set
+	// {lr : float64(lr) > hi} is an upward-closed set of float32 values,
+	// so it equals {lr : lr ≥ su} for the least float32 su above hi — and
+	// the hot loop then compares the stored float32 directly, with no
+	// per-byte widening. Both predicates decide identically to the float64
+	// forms for every possible lr, including NaN thresholds (no byte
+	// survives, as before).
+	su := leastFloat32Satisfying(hi, false) // lr >= su  ⟺  float64(lr) >  hi
+	sl := leastFloat32Satisfying(lo, true)  // lr >= sl  ⟺  float64(lr) >= lo
+	g := m.model.GroundBlockBytes
+	for start := 0; start < len(m.data); start += g {
+		end := start + g
+		if end > len(m.data) {
+			end = len(m.data)
 		}
-		if g := m.groundByte(i); m.data[i] != g {
-			m.data[i] = g
-			decayed++
+		var gb byte
+		if (start/g)%2 == 1 {
+			gb = 0xFF
+		}
+		data := m.data[start:end]
+		for j, lr := range m.logRetention[start:end] {
+			if lr >= su {
+				continue // retention clearly exceeds the outage
+			}
+			if lr >= sl && elapsed < median*math.Exp(float64(lr)) {
+				continue // inside the band: exact original check says it survived
+			}
+			if data[j] != gb {
+				data[j] = gb
+				decayed++
+			}
 		}
 	}
 	m.env.Logf("dram", "%s power on: %d/%d bytes decayed to ground", m.name, decayed, len(m.data))
+}
+
+// leastFloat32Satisfying returns the least float32 s such that
+// float64(s) > t (strict) or float64(s) >= t (orEqual). Because the
+// float32→float64 embedding is exact and order-preserving, comparing a
+// stored float32 against s with >= decides the float64 predicate
+// bit-identically for every finite, infinite, or NaN input. A NaN or +Inf
+// threshold has no finite satisfying value; returning +Inf (respectively
+// NaN→+Inf) makes lr >= s false for every finite lr, matching the float64
+// comparison's outcome.
+func leastFloat32Satisfying(t float64, orEqual bool) float32 {
+	sat := func(s float32) bool {
+		if orEqual {
+			return float64(s) >= t
+		}
+		return float64(s) > t
+	}
+	if math.IsNaN(t) || (math.IsInf(t, 1) && !orEqual) {
+		return float32(math.NaN()) // no float32 satisfies; lr >= NaN is false for every lr
+	}
+	s := float32(t) // nearest float32; at most a few ULPs from the answer
+	for !sat(s) {
+		s = math.Nextafter32(s, float32(math.Inf(1)))
+	}
+	for {
+		d := math.Nextafter32(s, float32(math.Inf(-1)))
+		if d == s || !sat(d) {
+			break
+		}
+		s = d
+	}
+	return s
 }
 
 func (m *Module) check(op string, off, n int) {
@@ -228,7 +376,36 @@ func (m *Module) check(op string, off, n int) {
 // Write stores b at offset off.
 func (m *Module) Write(off int, b []byte) {
 	m.check("Write", off, len(b))
+	m.gen++
 	copy(m.data[off:], b)
+}
+
+// WriteUintN stores the low size bytes of v little-endian at offset off,
+// 1 ≤ size ≤ 8 — the allocation-free subword store the SoC uses when no
+// cache sits between the core and the module.
+func (m *Module) WriteUintN(off, size int, v uint64) {
+	m.check("WriteUintN", off, size)
+	if size < 1 || size > 8 {
+		panic(fmt.Sprintf("dram: WriteUintN size %d out of range on %s", size, m.name))
+	}
+	m.gen++
+	for i := 0; i < size; i++ {
+		m.data[off+i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// ReadUintN loads size bytes little-endian from offset off, 1 ≤ size ≤ 8,
+// without allocating.
+func (m *Module) ReadUintN(off, size int) uint64 {
+	m.check("ReadUintN", off, size)
+	if size < 1 || size > 8 {
+		panic(fmt.Sprintf("dram: ReadUintN size %d out of range on %s", size, m.name))
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.data[off+i]) << (8 * uint(i))
+	}
+	return v
 }
 
 // Read returns n bytes from offset off.
@@ -259,6 +436,7 @@ func (m *Module) WriteLine(addr uint64, buf []byte) error {
 	if addr+uint64(len(buf)) > uint64(len(m.data)) {
 		return fmt.Errorf("dram: %s write at %#x+%d out of range", m.name, addr, len(buf))
 	}
+	m.gen++
 	copy(m.data[addr:], buf)
 	return nil
 }

@@ -223,3 +223,42 @@ func BenchmarkPowerCycle1MB(b *testing.B) {
 		m.PowerOn()
 	}
 }
+
+// TestLeastFloat32SatisfyingExact: the float32-space decay thresholds
+// must decide exactly the float64 predicates they replace, for every
+// float32 neighborhood of the threshold and for the degenerate
+// thresholds (±Inf, NaN) the log-space math can produce.
+func TestLeastFloat32SatisfyingExact(t *testing.T) {
+	thresholds := []float64{
+		0, 1e-9, -1e-9, 0.5, -0.5, 3.25, -3.25,
+		float64(float32(1.7)),              // exactly representable
+		1.7,                                // not representable
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	}
+	for _, th := range thresholds {
+		for _, orEq := range []bool{false, true} {
+			s := leastFloat32Satisfying(th, orEq)
+			// Probe float32 values bracketing the threshold.
+			probes := []float32{
+				float32(th),
+				math.Nextafter32(float32(th), float32(math.Inf(1))),
+				math.Nextafter32(float32(th), float32(math.Inf(-1))),
+				-10, 10, 0,
+				float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+			}
+			for _, lr := range probes {
+				var want bool
+				if orEq {
+					want = float64(lr) >= th
+				} else {
+					want = float64(lr) > th
+				}
+				got := lr >= s
+				if got != want {
+					t.Errorf("th=%v orEq=%v lr=%v: float32 compare %v, float64 predicate %v (s=%v)",
+						th, orEq, lr, got, want, s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// End-to-end experiment benchmarks for the execution fast path. These
+// run the same entry points the golden determinism tests pin, so any
+// ns/op movement here is guaranteed to be architecturally invisible:
+// the rendered outputs hash to the same golden values before and after.
+//
+// Baselines captured at commit 49bfb5d (pre fast-path refactor), on the
+// single-core reference runner:
+//
+//	BenchmarkFigure7ColdBoot      753854025 ns/op
+//	BenchmarkFigure8OSScenario    432805342 ns/op
+//	BenchmarkTable4ArraySweep    7135027983 ns/op
+//
+// scripts/bench.sh re-runs these and appends the results to a BENCH_*.json
+// perf record alongside the commit they were measured at.
+
+// BenchmarkFigure7ColdBoot times the L1 I-cache extraction experiment:
+// boot, AES key schedule into L1I-adjacent state, power cycle, extract.
+func BenchmarkFigure7ColdBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure7(testSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8OSScenario times the OS-scenario experiment: a full
+// boot plus 100M-cycle noisy OS workload on the modeled core, then the
+// Volt Boot power-domain attack and L1D/L2 extraction. This is the
+// benchmark dominated by the execution pipeline (fetch/decode/execute
+// and cache traffic), so it is the primary end-to-end indicator for the
+// predecoded i-stream and zero-copy cache paths.
+func BenchmarkFigure8OSScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure8(testSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4ArraySweep times the per-array extraction-accuracy
+// sweep: four array sizes, three reps each, every rep a fresh board
+// running the full workload + attack. The heaviest experiment in the
+// suite; it exercises the SRAM physics kernels, the DRAM retention
+// model and the analysis-side element matching together.
+func BenchmarkTable4ArraySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Table4(testSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

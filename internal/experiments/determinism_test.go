@@ -20,6 +20,75 @@ import (
 // re-derive the constant and say so in the commit message.
 const table1GoldenSHA256 = "d0147003d73a9891bfc4a16a43e0f10ffd06691925aee402807de2200f2f2bc9"
 
+// Execution-path golden pins: SHA-256 of the rendered Figure 7, Figure 8
+// and Table 4 outputs at testSeed, captured on the pre-fast-path tree
+// (commit 49bfb5d, before the predecoded i-stream and zero-copy cache
+// refactor). These experiments exercise the full CPU/cache/kernel
+// execution pipeline, so the pins machine-check that the allocation-free
+// fast paths are architecturally invisible: same fetch results, same LRU
+// eviction order, same writeback timing, same extracted SRAM images. If a
+// deliberate model change moves one, re-derive the constant and say so in
+// the commit message.
+const (
+	figure7GoldenSHA256 = "462a2228f15b896b729033cdb16e51edaa21437575a3ceba1c7481c21116c0e0"
+	figure8GoldenSHA256 = "f8a5f69d4c2f614ea515e3e3ee9ff37ec8a27edf0b4c2a30c12729e988d20ee5"
+	table4GoldenSHA256  = "2428a16c7c3b81d1b2d4ed521ddbb784ee5875897ca934c103112309ff4c95e9"
+)
+
+func sha256Hex(s string) string {
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(s)))
+}
+
+// TestFigure7GoldenSeed: the concatenated per-panel renderings of the
+// L1 I-cache extraction experiment are byte-identical to the
+// pre-fast-path golden output.
+func TestFigure7GoldenSeed(t *testing.T) {
+	panels, err := Figure7(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	for _, p := range panels {
+		out += p.String()
+	}
+	if got := sha256Hex(out); got != figure7GoldenSHA256 {
+		t.Fatalf("Figure7(%#x) rendered output drifted from the pre-fast-path golden value\n"+
+			"sha256 = %s, want %s\noutput:\n%s", uint64(testSeed), got, figure7GoldenSHA256, out)
+	}
+}
+
+// TestFigure8GoldenSeed: the OS-scenario L1D/L2 extraction rendering is
+// byte-identical to the pre-fast-path golden output.
+func TestFigure8GoldenSeed(t *testing.T) {
+	res, err := Figure8(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	if got := sha256Hex(out); got != figure8GoldenSHA256 {
+		t.Fatalf("Figure8(%#x) rendered output drifted from the pre-fast-path golden value\n"+
+			"sha256 = %s, want %s\noutput:\n%s", uint64(testSeed), got, figure8GoldenSHA256, out)
+	}
+}
+
+// TestTable4GoldenSeed: the per-array extraction-accuracy sweep is
+// byte-identical to the pre-fast-path golden output. Skipped under
+// -short: the sweep runs the full attack once per on-chip array.
+func TestTable4GoldenSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full attack run per on-chip array")
+	}
+	res, err := Table4(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	if got := sha256Hex(out); got != table4GoldenSHA256 {
+		t.Fatalf("Table4(%#x) rendered output drifted from the pre-fast-path golden value\n"+
+			"sha256 = %s, want %s\noutput:\n%s", uint64(testSeed), got, table4GoldenSHA256, out)
+	}
+}
+
 func withGOMAXPROCS(t *testing.T, n int, f func()) {
 	t.Helper()
 	prev := runtime.GOMAXPROCS(n)

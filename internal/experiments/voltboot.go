@@ -301,13 +301,16 @@ func Table4(seed uint64) (*Table4Result, error) {
 				return nil, err
 			}
 			for c := 0; c < spec.Cores; c++ {
-				d0 := ext.Dumps[c].L1D[0]
-				d1 := ext.Dumps[c].L1D[1]
+				// Index each way dump once; per-element membership is then a
+				// hash probe. Contains(e) ≡ CountAlignedOccurrences(d, e) > 0,
+				// so the per-way and union tallies are unchanged.
+				d0 := analysis.NewAlignedElementSet(ext.Dumps[c].L1D[0], 8)
+				d1 := analysis.NewAlignedElementSet(ext.Dumps[c].L1D[1], 8)
 				var in0, in1, inU int
 				for i := 0; i < n; i++ {
 					e := elemValue(c, i)
-					f0 := analysis.CountAlignedOccurrences(d0, e) > 0
-					f1 := analysis.CountAlignedOccurrences(d1, e) > 0
+					f0 := d0.Contains(e)
+					f1 := d1.Contains(e)
 					if f0 {
 						in0++
 					}

@@ -18,6 +18,18 @@ type Bus interface {
 	Store128(core int, addr uint64, v [2]uint64) error
 }
 
+// DecodedBus is an optional Bus extension: a bus that can serve fetches
+// as already-decoded instructions from a predecode cache. Implementations
+// must be architecturally invisible — a FetchDecoded call has exactly the
+// side effects and result of FetchInstr followed by Decode, just without
+// re-decoding (or even re-reading the RAMs) on the hot path. The SoC
+// implements it with a generation-checked predecoded i-stream.
+type DecodedBus interface {
+	// FetchDecoded returns the decoded instruction and the raw word at
+	// addr (the word feeds the undefined-instruction diagnostics).
+	FetchDecoded(core int, addr uint64) (Instr, uint32, error)
+}
+
 // SysOps provides the system operations that reach beyond the register
 // file: cache maintenance and the RAMINDEX debug path. The SoC implements
 // this against its real cache models.
@@ -90,6 +102,9 @@ type CPU struct {
 	Regs    RegBacking
 	BusPort Bus
 	Sys     SysOps
+	// decBus is BusPort's DecodedBus view when it has one, captured once
+	// at construction so Step avoids a per-instruction type assertion.
+	decBus DecodedBus
 
 	// Halted is set by HLT; HaltCode carries its immediate.
 	Halted   bool
@@ -109,9 +124,14 @@ type CPU struct {
 	NSLocked bool
 }
 
-// NewCPU builds a core with the given backing stores.
+// NewCPU builds a core with the given backing stores. A bus that also
+// implements DecodedBus gets its predecoded fetch path used by Step.
 func NewCPU(id int, regs RegBacking, bus Bus, sys SysOps) *CPU {
-	return &CPU{ID: id, EL: 3, Regs: regs, BusPort: bus, Sys: sys}
+	c := &CPU{ID: id, EL: 3, Regs: regs, BusPort: bus, Sys: sys}
+	if db, ok := bus.(DecodedBus); ok {
+		c.decBus = db
+	}
+	return c
 }
 
 // Reset prepares the core to run from entry at EL3 with cleared flags.
@@ -213,11 +233,22 @@ func (c *CPU) Step() error {
 	if c.Halted {
 		return nil
 	}
-	word, err := c.BusPort.FetchInstr(c.ID, c.PC)
-	if err != nil {
-		return fmt.Errorf("fetch at PC %#x: %w", c.PC, err)
+	var in Instr
+	var word uint32
+	if c.decBus != nil {
+		var err error
+		in, word, err = c.decBus.FetchDecoded(c.ID, c.PC)
+		if err != nil {
+			return fmt.Errorf("fetch at PC %#x: %w", c.PC, err)
+		}
+	} else {
+		w, err := c.BusPort.FetchInstr(c.ID, c.PC)
+		if err != nil {
+			return fmt.Errorf("fetch at PC %#x: %w", c.PC, err)
+		}
+		word = w
+		in = Decode(word)
 	}
-	in := Decode(word)
 	next := c.PC + 4
 
 	switch in.Op {

@@ -1,0 +1,73 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/soc"
+)
+
+// BenchmarkOSWorkloadIPS measures the Figure 8 / Table 4 execution
+// pipeline in isolation: the §7.1.2 array re-read benchmark running under
+// cached execution with background kernel noise bursts, exactly as
+// RunWithNoise drives it inside the experiments — but without the
+// power-cycle physics, so ns/op is the cost of one retired instruction of
+// the OS scenario and the instr/s metric is the pipeline's throughput.
+// This is the number the predecoded i-stream and zero-copy cache paths
+// target; the end-to-end experiment benchmarks bundle it with the
+// contract-bound SRAM/DRAM physics kernels.
+func BenchmarkOSWorkloadIPS(b *testing.B) {
+	s := poweredSoC(b)
+	k := New(s, DefaultConfig(1))
+	core := 0
+	c := s.Cores[core]
+	c.L1D.InvalidateAll()
+	c.L1I.InvalidateAll()
+	c.L1D.SetEnabled(true)
+	c.L1I.SetEnabled(true)
+
+	const n = 4096 // 32KB working set: the cache-sized Table 4 row
+	userAddr := uint64(0x100000)
+	pageAddr := uint64(0x180000)
+	data := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		copy(data[i*8:], elemValue(i))
+	}
+	if err := k.StageFile(core, pageAddr, userAddr, data); err != nil {
+		b.Fatal(err)
+	}
+	// Effectively unbounded passes: the benchmark loop below retires
+	// exactly b.N instructions and never reaches the halt.
+	prog, err := ArrayBenchmarkProgram(soc.PayloadBase, userAddr, n, 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, w := range prog {
+		s.WriteDRAM(int(soc.PayloadBase)+i*4, []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)})
+	}
+	cpu := c.CPU
+	cpu.Reset(soc.PayloadBase)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	// The RunWithNoise loop, open-ended: quanta of user instructions
+	// interleaved with background noise bursts, until b.N retire.
+	var done uint64
+	for done < uint64(b.N) && !cpu.Halted {
+		q := k.cfg.QuantumInstr
+		if done+q > uint64(b.N) {
+			q = uint64(b.N) - done
+		}
+		ran, err := runQuantum(cpu, q)
+		done += ran
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cpu.Halted {
+			break
+		}
+		if err := k.noiseBurst(core); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "instr/s")
+}

@@ -68,6 +68,24 @@ type Core struct {
 	// lastFetch detects non-sequential fetches (taken branches) for BTB
 	// updates. Microarchitectural flop, not SRAM.
 	lastFetch uint64
+	// tlbLastPage/tlbLastGen memoize the most recent TLB slot write:
+	// sequential code re-translates the same page on every fetch, and
+	// rewriting the identical entry word is a no-op the memo skips. The
+	// stamp is the TLB array's own content generation (taken after our
+	// write), so any other write, fill, power-up or decay event — anything
+	// that could make the slot differ from what we last wrote — forces the
+	// write again. Derived state, like predec.
+	tlbLastPage uint64
+	tlbLastGen  uint64
+
+	// predec is the per-core predecoded i-stream: a direct-mapped table
+	// of already-decoded instructions keyed by fetch address, each entry
+	// stamped with the generation of the state that produced it (see
+	// SoC.predecGen). Purely derived microarchitectural state — it holds
+	// no content a fetch could not re-derive, lives outside the SRAM
+	// retention physics, and is invalidated wholesale by generation
+	// bumps rather than being snooped.
+	predec [predecEntries]predecEntry
 }
 
 // TLB/BTB geometry: entry counts are powers of two, 8 bytes per entry.
@@ -75,6 +93,32 @@ const (
 	tlbEntries = 64
 	btbEntries = 256
 )
+
+// predecEntries sizes the per-core predecode table: direct-mapped on
+// word-aligned PC, 4096 entries = 16 KB of code reach, comfortably more
+// than any experiment payload.
+const predecEntries = 4096
+
+// Predecode entry service modes: which level answered the install-time
+// fetch, and therefore which generation counters guard the entry.
+const (
+	predecNone = uint8(iota) // empty slot
+	predecL1I                // enabled L1I hit at (way, set)
+	predecL2                 // L1I off, enabled L2 hit at (way, set)
+	predecDRAM               // caches off: straight DRAM read
+	predecIRAM               // iRAM fetch
+	predecROM                // mask ROM fetch (immutable)
+)
+
+type predecEntry struct {
+	addr uint64 // fetch address
+	gen  uint64 // predecGen(mode) at install time
+	in   isa.Instr
+	word uint32
+	mode uint8
+	way  int32 // resident way/set for cache-served entries
+	set  int32
+}
 
 // BootImage is a payload offered to the boot chain (a kernel on USB mass
 // storage for the Pis; irrelevant for i.MX53-style internal boot, whose
@@ -135,9 +179,18 @@ type SoC struct {
 	orderlyDown bool
 	// barriers counts DSB/ISB executions (the §6.1 payload requirement).
 	barriers uint64
+
+	// mutGen counts SoC-level events that can mutate instruction memory
+	// behind the predecode cache's back: boots (ROM scratchpad, MBIST,
+	// VideoCore, payload load), orderly shutdowns, JTAG and CPU iRAM
+	// writes, and every rail change on the core or memory domain (power
+	// cycles scramble SRAM-resident code). It feeds predecGen for every
+	// mode, so any such event invalidates all predecoded instructions.
+	mutGen uint64
 }
 
 var _ isa.Bus = (*SoC)(nil)
+var _ isa.DecodedBus = (*SoC)(nil)
 var _ isa.SysOps = (*SoC)(nil)
 
 // New builds an SoC from its spec. All SRAM arrays are created and
@@ -151,6 +204,12 @@ func New(env *sim.Env, spec DeviceSpec, opts Options, seed uint64) (*SoC, error)
 	s.CoreDom = power.NewDomain(env, spec.CoreDomainName, spec.CoreVolts, true)
 	s.MemDom = power.NewDomain(env, spec.MemDomainName, spec.MemVolts, false)
 	s.IODom = power.NewDomain(env, "VDD_IO", 3.3, false)
+	// Every rail excursion on an SRAM-bearing domain may rewrite code
+	// memory (decay, fingerprints), so it must invalidate the predecoded
+	// i-stream. The watcher is an ordinary load: probes, glitches, and
+	// supply swaps all reach it through the same path as the arrays.
+	s.CoreDom.Attach(&railWatcher{name: spec.CoreDomainName + ".predec-watch", gen: &s.mutGen})
+	s.MemDom.Attach(&railWatcher{name: spec.MemDomainName + ".predec-watch", gen: &s.mutGen})
 
 	model := sram.DefaultRetentionModel()
 	s.DRAM = dram.NewModule(env, spec.SoCName+".dram", spec.DRAMBytes, dram.DefaultRetentionModel(), seed)
@@ -238,6 +297,17 @@ func (d *dramLoad) SetRail(v float64) {
 	}
 }
 
+// railWatcher bumps a generation counter on every rail change pushed to
+// its domain — the predecode cache's view of power events.
+type railWatcher struct {
+	name string
+	gen  *uint64
+}
+
+func (r *railWatcher) Name() string { return r.name }
+
+func (r *railWatcher) SetRail(float64) { *r.gen++ }
+
 // Powered reports whether the core domain is up.
 func (s *SoC) Powered() bool {
 	return s.CoreDom.Volts() >= s.Spec.CoreVolts*0.9
@@ -266,6 +336,7 @@ func (s *SoC) Boot(img *BootImage) error {
 		return ErrUnpowered
 	}
 	s.bootCount++
+	s.mutGen++ // boots rewrite code memory in several ways; drop all predecode
 	s.Env.Logf("boot", "%s boot #%d", s.Spec.SoCName, s.bootCount)
 
 	if s.Opts.PowerToggleReset {
@@ -433,6 +504,7 @@ func (s *SoC) RunAllCores(maxInstr uint64) error {
 // before power is expected to drop. Volt Boot's abrupt disconnect is
 // precisely the path that skips this (§8 "purging residual memory").
 func (s *SoC) OrderlyShutdown() {
+	s.mutGen++ // the purge overwrites SRAM-resident code
 	s.Env.Logf("soc", "orderly shutdown: purging on-chip memories")
 	for _, c := range s.Cores {
 		for _, arr := range c.L1D.Arrays() {
@@ -481,6 +553,130 @@ func (s *SoC) writeDRAMDirect(addr uint64, w uint32) error {
 func (s *SoC) FetchInstr(core int, addr uint64) (uint32, error) {
 	v, err := s.access(core, addr, 4, false, 0, true)
 	return uint32(v), err
+}
+
+// FetchDecoded implements isa.DecodedBus: the predecoded i-stream fast
+// path. A hit returns the cached decode while replaying exactly the side
+// effects the full fetch would have had — the TLB/BTB history writes and
+// the serving cache's hit counter and LRU touch — so the architectural
+// and microarchitectural state evolve bit-identically to FetchInstr +
+// Decode. The generation stamp guarantees the hit is sound: if no
+// guarding counter moved since install, the same level would serve the
+// same word from the same (way, set) today.
+func (s *SoC) FetchDecoded(core int, addr uint64) (isa.Instr, uint32, error) {
+	if core < 0 || core >= len(s.Cores) {
+		return isa.Instr{}, 0, fmt.Errorf("soc: core %d out of range", core)
+	}
+	c := s.Cores[core]
+	e := &c.predec[(addr>>2)&(predecEntries-1)]
+	if e.mode != predecNone && e.addr == addr && e.gen == s.predecGen(c, e.mode) {
+		// predecDRAM entries are content-verified instead of generation-
+		// guarded: uncached payloads store to DRAM on every loop iteration,
+		// so keying on the module's write counter would thrash the table.
+		// Re-reading the 4-byte word is side-effect-free and exactly as
+		// sound — if the word (and the routing generations) match, the full
+		// path would fetch, decode, and observe precisely this instruction.
+		if e.mode != predecDRAM ||
+			(s.DRAM.Powered() && s.DRAM.ReadUintN(int(addr), 4) == uint64(e.word)) {
+			switch e.mode {
+			case predecL1I:
+				s.updateHistoryBuffers(c, addr, true)
+				c.L1I.TouchFetchHit(int(e.way), int(e.set))
+			case predecL2:
+				s.updateHistoryBuffers(c, addr, true)
+				s.L2.TouchFetchHit(int(e.way), int(e.set))
+			case predecDRAM, predecIRAM:
+				s.updateHistoryBuffers(c, addr, true)
+			case predecROM:
+				// ROM fetches have no history-buffer or cache side effects.
+			}
+			return e.in, e.word, nil
+		}
+	}
+	word, err := s.FetchInstr(core, addr)
+	if err != nil {
+		return isa.Instr{}, 0, err
+	}
+	in := isa.Decode(word)
+	s.installPredec(c, e, addr, in, word)
+	return in, word, nil
+}
+
+// installPredec records a freshly fetched-and-decoded instruction in the
+// core's predecode table, classified by the level that served it. The
+// generation is sampled *after* the fetch, so a fill triggered by the
+// fetch itself guards the entry correctly.
+func (s *SoC) installPredec(c *Core, e *predecEntry, addr uint64, in isa.Instr, word uint32) {
+	mode := predecNone
+	var way, set int
+	switch {
+	case s.inDRAM(addr):
+		switch {
+		case c.L1I.Enabled():
+			var ok bool
+			if way, set, ok = c.L1I.ResidentWaySet(addr); !ok {
+				return // fetch raced a maintenance op; skip caching
+			}
+			mode = predecL1I
+		case s.L2 != nil && s.L2.Enabled():
+			var ok bool
+			if way, set, ok = s.L2.ResidentWaySet(addr); !ok {
+				return
+			}
+			mode = predecL2
+		default:
+			mode = predecDRAM
+		}
+	case s.inIRAM(addr):
+		mode = predecIRAM
+	case s.inROM(addr):
+		mode = predecROM
+	default:
+		return
+	}
+	*e = predecEntry{
+		addr: addr,
+		gen:  s.predecGen(c, mode),
+		in:   in,
+		word: word,
+		mode: mode,
+		way:  int32(way),
+		set:  int32(set),
+	}
+}
+
+// predecGen returns the current generation guarding entries of the given
+// mode for core c: the sum of every monotonic counter whose movement
+// could change what a fetch in that mode observes or which level serves
+// it. Sums of monotonic counters are monotonic, so a stamp comparison
+// detects "anything moved".
+func (s *SoC) predecGen(c *Core, mode uint8) uint64 {
+	switch mode {
+	case predecL1I:
+		// Resident-line hits: only L1I content events (fills, evictions,
+		// writes, maintenance, enable toggles) or SoC-level mutations can
+		// change the outcome. Data-side store traffic does not — exactly
+		// like real hardware, where stale i-lines persist until IC IALLU.
+		return c.L1I.ContentGen() + s.mutGen
+	case predecL2:
+		// L1I's counter is included because re-enabling the L1I reroutes
+		// fetches away from the L2.
+		return c.L1I.ContentGen() + s.L2.ContentGen() + s.mutGen
+	case predecDRAM:
+		// Routing only: the instruction word itself is re-read and compared
+		// on every hit (see FetchDecoded), so DRAM's write counter stays out
+		// of the stamp and store-heavy uncached loops keep their entries.
+		g := c.L1I.ContentGen() + s.mutGen
+		if s.L2 != nil {
+			g += s.L2.ContentGen()
+		}
+		return g
+	case predecIRAM:
+		return s.mutGen
+	case predecROM:
+		return 0 // mask ROM is immutable
+	}
+	return ^uint64(0) // predecNone never validates
 }
 
 // Load implements isa.Bus.
@@ -536,19 +732,10 @@ func (s *SoC) access(core int, addr uint64, size int, write bool, wdata uint64, 
 				return s.L2.Access(addr, size, write, wdata, c.CPU.Secure())
 			}
 			if write {
-				buf := make([]byte, size)
-				for i := range buf {
-					buf[i] = byte(wdata >> (8 * i))
-				}
-				s.DRAM.Write(int(addr), buf)
+				s.DRAM.WriteUintN(int(addr), size, wdata)
 				return 0, nil
 			}
-			buf := s.DRAM.Read(int(addr), size)
-			var v uint64
-			for i, b := range buf {
-				v |= uint64(b) << (8 * i)
-			}
-			return v, nil
+			return s.DRAM.ReadUintN(int(addr), size), nil
 		}
 		return which.Access(addr, size, write, wdata, c.CPU.Secure())
 	case s.inIRAM(addr):
@@ -559,19 +746,11 @@ func (s *SoC) access(core int, addr uint64, size int, write bool, wdata uint64, 
 			return 0, fmt.Errorf("soc: iRAM access at %#x size %d out of range", addr, size)
 		}
 		if write {
-			buf := make([]byte, size)
-			for i := range buf {
-				buf[i] = byte(wdata >> (8 * i))
-			}
-			s.IRAM.WriteBytes(off, buf)
+			s.mutGen++ // stores can overwrite iRAM-resident code
+			s.IRAM.WriteUintN(off, size, wdata)
 			return 0, nil
 		}
-		buf := s.IRAM.ReadBytes(off, size)
-		var v uint64
-		for i, b := range buf {
-			v |= uint64(b) << (8 * i)
-		}
-		return v, nil
+		return s.IRAM.ReadUintN(off, size), nil
 	case s.inROM(addr):
 		if write {
 			return 0, fmt.Errorf("soc: write to mask ROM at %#x", addr)
@@ -598,7 +777,14 @@ func (s *SoC) access(core int, addr uint64, size int, write bool, wdata uint64, 
 func (s *SoC) updateHistoryBuffers(c *Core, addr uint64, ifetch bool) {
 	if c.TLB.Powered() {
 		page := addr >> 12
-		c.TLB.WriteUint64(int(page%tlbEntries)*8, page<<1|1)
+		// Skip rewriting the slot when it provably still holds exactly
+		// page<<1|1 from our own last write (see tlbLastPage). Writing the
+		// identical word is content-neutral, so the skip is bit-identical.
+		if page != c.tlbLastPage || c.TLB.Gen() != c.tlbLastGen {
+			c.TLB.WriteUint64(int(page%tlbEntries)*8, page<<1|1)
+			c.tlbLastPage = page
+			c.tlbLastGen = c.TLB.Gen()
+		}
 	}
 	if ifetch {
 		if c.BTB.Powered() && c.lastFetch != 0 && addr != c.lastFetch+4 {
@@ -732,6 +918,7 @@ func (s *SoC) JTAGWriteIRAM(off int, data []byte) error {
 	if off < 0 || off+len(data) > s.Spec.IRAMBytes {
 		return fmt.Errorf("soc: JTAG write %d+%d out of %d-byte iRAM", off, len(data), s.Spec.IRAMBytes)
 	}
+	s.mutGen++ // debug-port writes can overwrite iRAM-resident code
 	s.IRAM.WriteBytes(off, data)
 	return nil
 }
@@ -746,12 +933,23 @@ func (s *SoC) ReadDRAM(off, n int) []byte {
 		return s.DRAM.Read(off, n)
 	}
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		v, err := s.L2.Access(uint64(off+i), 1, false, 0, false)
-		if err != nil {
-			panic(fmt.Sprintf("soc: coherent DRAM read at %#x: %v", off+i, err))
+	// 8-byte chunks aligned to the address keep each Access inside one
+	// cache line; consecutive touches of the same line collapse, which
+	// preserves the replacement order the byte loop produced.
+	for i := 0; i < n; {
+		a := off + i
+		size := 8 - a&7
+		if size > n-i {
+			size = n - i
 		}
-		out[i] = byte(v)
+		v, err := s.L2.Access(uint64(a), size, false, 0, false)
+		if err != nil {
+			panic(fmt.Sprintf("soc: coherent DRAM read at %#x: %v", a, err))
+		}
+		for k := 0; k < size; k++ {
+			out[i+k] = byte(v >> (8 * uint(k)))
+		}
+		i += size
 	}
 	return out
 }
@@ -763,9 +961,19 @@ func (s *SoC) WriteDRAM(off int, b []byte) {
 		s.DRAM.Write(off, b)
 		return
 	}
-	for i, v := range b {
-		if _, err := s.L2.Access(uint64(off+i), 1, true, uint64(v), false); err != nil {
-			panic(fmt.Sprintf("soc: coherent DRAM write at %#x: %v", off+i, err))
+	for i := 0; i < len(b); {
+		a := off + i
+		size := 8 - a&7
+		if size > len(b)-i {
+			size = len(b) - i
 		}
+		var v uint64
+		for k := 0; k < size; k++ {
+			v |= uint64(b[i+k]) << (8 * uint(k))
+		}
+		if _, err := s.L2.Access(uint64(a), size, true, v, false); err != nil {
+			panic(fmt.Sprintf("soc: coherent DRAM write at %#x: %v", a, err))
+		}
+		i += size
 	}
 }

@@ -150,6 +150,12 @@ type biasSampler struct {
 	// are exact power-of-two scalings, so "float64(x) < thr" decides the
 	// identical predicate without the per-cell divide.
 	thr float64
+	// thrInt is ⌈thr⌉: because the 53-bit draw x converts to float64
+	// exactly, float64(x) < thr ⟺ x < ⌈thr⌉ as integers (when thr is
+	// itself an integer the ceiling is thr and both forms agree), so the
+	// hot kernels decide the Bernoulli with one integer compare and no
+	// int→float conversion per biased cell.
+	thrInt uint64
 }
 
 func (a *Array) newBiasSampler() biasSampler {
@@ -163,16 +169,23 @@ func (a *Array) newBiasSampler() biasSampler {
 	default:
 		s.mode = 2
 		s.thr = noise * (1 << 53)
+		s.thrInt = uint64(math.Ceil(s.thr))
 	}
 	return s
 }
 
 // sample returns the power-up value of a cell whose third hash is h3.
+//
+// The hot kernels do not call this: they load the sampler's fields into
+// locals and evaluate the same expressions inline (see sampleInline),
+// which lets the compiler inline the xoshiro state update into the cell
+// loop. This method remains the readable form and the one differential
+// tests exercise directly.
 func (s *biasSampler) sample(h3 uint64) bool {
 	if int(h3&0xFFFFFF) >= s.biasedMin { // biased cell
 		v := h3>>63 == 1
 		if s.mode == 2 {
-			if float64(s.rng.Uint64()>>11) < s.thr { // Bernoulli(BiasNoise)
+			if s.rng.Uint64()>>11 < s.thrInt { // Bernoulli(BiasNoise)
 				v = !v
 			}
 		} else if s.mode == 1 {
@@ -211,6 +224,13 @@ func (a *Array) resolveDecayWords() {
 		sampler   = a.newBiasSampler()
 		hasAging  = a.imprint != nil
 		cellState = a.cellSeed // xor-folded per cell below
+		// sampler fields hoisted into locals so the per-decayed-cell draw
+		// below compiles to straight-line code with the xoshiro update
+		// inlined (see biasSampler.sample, the readable reference form).
+		rng       = sampler.rng
+		biasedMin = sampler.biasedMin
+		mode      = sampler.mode
+		thrInt    = sampler.thrInt
 	)
 	// Integer survival gates (see the function comment).
 	intGates := drvSigma >= 0 && retSigma >= 0
@@ -234,6 +254,18 @@ func (a *Array) resolveDecayWords() {
 			return
 		}
 	}
+	// Degenerate gates: when the crossover sits outside the reachable sum
+	// range, the corresponding predicate is constant and its survival hash
+	// is never worth computing. checkDRV is false for a rail held at (or
+	// driven to) 0 V — no cell's DRV reaches that low — and checkRet is
+	// false when the outage outlives even the stickiest cell, which is
+	// precisely the Volt Boot power cycle: room-temperature SRAM retention
+	// is milliseconds against a half-second outage. In that common case the
+	// whole per-cell survival test collapses to "decays", skipping both
+	// Mix64 hashes. The hashes are pure functions (they consume no rng
+	// draws), so skipping them cannot shift any stream.
+	checkDRV := !intGates || drvSumMax >= 0
+	checkRet := !intGates || retSumMin <= maxFieldSum
 	lost := 0
 	ig := uint64(0) // i·gamma, maintained incrementally
 	for w := range a.bits {
@@ -249,10 +281,10 @@ func (a *Array) resolveDecayWords() {
 			if intGates {
 				// Hash 1 → DRV gate; hash 2 → retention gate. Integer
 				// compares against the precomputed crossover sums.
-				if fieldSum16(xrand.Mix64(st+cellHashGamma)) <= drvSumMax {
+				if checkDRV && fieldSum16(xrand.Mix64(st+cellHashGamma)) <= drvSumMax {
 					continue // rail held above this cell's DRV: perfect retention
 				}
-				if fieldSum16(xrand.Mix64(st+cellHashGamma+cellHashGamma)) >= retSumMin {
+				if checkRet && fieldSum16(xrand.Mix64(st+cellHashGamma+cellHashGamma)) >= retSumMin {
 					continue // charge survived the gap
 				}
 			} else {
@@ -278,7 +310,21 @@ func (a *Array) resolveDecayWords() {
 				v, decided = a.imprintPowerUp(base + k)
 			}
 			if !decided {
-				v = sampler.sample(xrand.Mix64(st + cellHashGamma + cellHashGamma + cellHashGamma))
+				// sampleInline: biasSampler.sample with the mode dispatch on
+				// hoisted locals — identical draws in identical order.
+				h3 := xrand.Mix64(st + cellHashGamma + cellHashGamma + cellHashGamma)
+				if int(h3&0xFFFFFF) >= biasedMin {
+					v = h3>>63 == 1
+					if mode == 2 {
+						if rng.Uint64()>>11 < thrInt {
+							v = !v
+						}
+					} else if mode == 1 {
+						v = !v
+					}
+				} else {
+					v = rng.Uint64()&1 == 1
+				}
 			}
 			if v {
 				newBits |= bit
@@ -304,6 +350,11 @@ func (a *Array) powerUpAllWords() {
 		sampler   = a.newBiasSampler()
 		hasAging  = a.imprint != nil
 		cellState = a.cellSeed
+		// Hoisted sampler fields; see resolveDecayWords.
+		rng       = sampler.rng
+		biasedMin = sampler.biasedMin
+		mode      = sampler.mode
+		thrInt    = sampler.thrInt
 	)
 	ig := uint64(0)
 	for w := range a.bits {
@@ -321,7 +372,20 @@ func (a *Array) powerUpAllWords() {
 				v, decided = a.imprintPowerUp(base + k)
 			}
 			if !decided {
-				v = sampler.sample(xrand.Mix64(st + cellHashGamma + cellHashGamma + cellHashGamma))
+				// sampleInline: biasSampler.sample on hoisted locals.
+				h3 := xrand.Mix64(st + cellHashGamma + cellHashGamma + cellHashGamma)
+				if int(h3&0xFFFFFF) >= biasedMin {
+					v = h3>>63 == 1
+					if mode == 2 {
+						if rng.Uint64()>>11 < thrInt {
+							v = !v
+						}
+					} else if mode == 1 {
+						v = !v
+					}
+				} else {
+					v = rng.Uint64()&1 == 1
+				}
 			}
 			if v {
 				newBits |= uint64(1) << uint(k)

@@ -125,6 +125,12 @@ type Array struct {
 	bits []uint64 // bit-packed, len = ceil(n/64)
 	n    int      // number of bits
 
+	// retThreshold caches model.RetentionThreshold() at construction so
+	// the per-access Powered()/checkAccess test is one float compare
+	// instead of a multiply-add per call. The model is immutable after
+	// NewArray, so the cache can never go stale.
+	retThreshold float64
+
 	// railVolts is the instantaneous rail voltage.
 	railVolts float64
 	// belowSince is the time the rail last fell below the retention
@@ -141,6 +147,12 @@ type Array struct {
 	// everPowered tracks whether the array has been powered at least
 	// once; a never-powered array powers up into its fingerprint.
 	everPowered bool
+	// gen counts every event that can change the array's contents: writes
+	// through any architectural accessor, fills, and the physics events
+	// (power-up fingerprints, decay resolution). Consumers caching derived
+	// views of the array — e.g. the SoC's last-written-TLB-slot memo — use
+	// it as an "anything moved" signal. Derived state, not physics.
+	gen uint64
 	// imprint is the lazily allocated aging overlay (see imprint.go).
 	imprint *imprintState
 	// scalarKernels forces the per-bit reference kernels instead of the
@@ -160,13 +172,14 @@ func NewArray(env *sim.Env, name string, n int, model RetentionModel, seed uint6
 	}
 	derived := xrand.Derive(seed, "sram:"+name)
 	return &Array{
-		name:     name,
-		env:      env,
-		model:    model,
-		rng:      derived,
-		cellSeed: derived.Uint64(),
-		bits:     make([]uint64, (n+63)/64),
-		n:        n,
+		name:         name,
+		env:          env,
+		model:        model,
+		rng:          derived,
+		cellSeed:     derived.Uint64(),
+		bits:         make([]uint64, (n+63)/64),
+		n:            n,
+		retThreshold: model.RetentionThreshold(),
 	}
 }
 
@@ -211,7 +224,7 @@ func (a *Array) RailVolts() float64 { return a.railVolts }
 // Powered reports whether the rail is above the population retention
 // threshold (enough for every cell).
 func (a *Array) Powered() bool {
-	return a.railVolts >= a.model.RetentionThreshold()
+	return a.railVolts >= a.retThreshold
 }
 
 // SetRail drives the array's supply rail to volts at the current
@@ -225,13 +238,14 @@ func (a *Array) SetRail(volts float64) {
 	prev := a.railVolts
 	a.railVolts = volts
 
-	threshold := a.model.RetentionThreshold()
+	threshold := a.retThreshold
 	wasUp := prev >= threshold
 	isUp := volts >= threshold
 
 	switch {
 	case !a.everPowered && isUp:
 		// First power-on of the die: whole array boots into fingerprint.
+		a.gen++
 		a.powerUpAll()
 		a.everPowered = true
 		a.decaying = false
@@ -246,6 +260,7 @@ func (a *Array) SetRail(volts float64) {
 			a.heldVolts = volts
 		}
 	case !wasUp && isUp && a.decaying:
+		a.gen++
 		a.resolveDecay()
 		a.decaying = false
 	}
@@ -273,6 +288,7 @@ func (a *Array) checkAccess(op string) {
 // error (real hardware cannot either) and panics.
 func (a *Array) WriteBit(i int, v bool) {
 	a.checkAccess("WriteBit")
+	a.gen++
 	a.setBit(i, v)
 }
 
@@ -299,6 +315,7 @@ func (a *Array) WriteBytes(off int, b []byte) {
 	if off < 0 || (off+len(b))*8 > a.n {
 		panic(fmt.Sprintf("sram: WriteBytes out of range on %s: off=%d len=%d size=%dB", a.name, off, len(b), a.Bytes()))
 	}
+	a.gen++
 	i, j := 0, off
 	for ; i < len(b) && j&7 != 0; i++ { // head: reach word alignment
 		a.storeByte(j, b[i])
@@ -346,6 +363,7 @@ func (a *Array) WriteUint64(off int, v uint64) {
 	if off < 0 || (off+8)*8 > a.n {
 		panic(fmt.Sprintf("sram: WriteUint64 out of range on %s: off=%d size=%dB", a.name, off, a.Bytes()))
 	}
+	a.gen++
 	w := off >> 3
 	shift := 8 * uint(off&7)
 	if shift == 0 {
@@ -372,10 +390,86 @@ func (a *Array) ReadUint64(off int) uint64 {
 	return a.bits[w]>>shift | a.bits[w+1]<<(64-shift)
 }
 
+// WriteUintN stores the low size bytes of v little-endian at byte offset
+// off, for 1 ≤ size ≤ 8. Like WriteUint64 it operates directly on the
+// packed words — at most two are touched — so subword cache traffic
+// (byte/half/word stores, ECC-word updates) never needs a scratch slice.
+func (a *Array) WriteUintN(off, size int, v uint64) {
+	a.checkAccess("WriteUintN")
+	if off < 0 || size < 1 || size > 8 || (off+size)*8 > a.n {
+		panic(fmt.Sprintf("sram: WriteUintN out of range on %s: off=%d size=%d arr=%dB", a.name, off, size, a.Bytes()))
+	}
+	nbits := uint(8 * size)
+	var mask uint64
+	if nbits == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = uint64(1)<<nbits - 1
+	}
+	v &= mask
+	a.gen++
+	w := off >> 3
+	shift := 8 * uint(off&7)
+	a.bits[w] = (a.bits[w] &^ (mask << shift)) | v<<shift
+	if spill := shift + nbits; spill > 64 {
+		rem := spill - 64 // bits landing in the next word
+		hiMask := uint64(1)<<rem - 1
+		a.bits[w+1] = (a.bits[w+1] &^ hiMask) | v>>(nbits-rem)
+	}
+}
+
+// ReadUintN loads size bytes little-endian from byte offset off, for
+// 1 ≤ size ≤ 8, without allocating.
+func (a *Array) ReadUintN(off, size int) uint64 {
+	a.checkAccess("ReadUintN")
+	if off < 0 || size < 1 || size > 8 || (off+size)*8 > a.n {
+		panic(fmt.Sprintf("sram: ReadUintN out of range on %s: off=%d size=%d arr=%dB", a.name, off, size, a.Bytes()))
+	}
+	nbits := uint(8 * size)
+	var mask uint64
+	if nbits == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = uint64(1)<<nbits - 1
+	}
+	w := off >> 3
+	shift := 8 * uint(off&7)
+	v := a.bits[w] >> shift
+	if shift+nbits > 64 {
+		v |= a.bits[w+1] << (64 - shift)
+	}
+	return v & mask
+}
+
+// ReadBytesInto copies len(dst) bytes starting at byte offset off into
+// dst — the allocation-free form of ReadBytes, used by the cache fill
+// and writeback paths to reuse a scratch line buffer.
+func (a *Array) ReadBytesInto(off int, dst []byte) {
+	a.checkAccess("ReadBytesInto")
+	n := len(dst)
+	if off < 0 || (off+n)*8 > a.n {
+		panic(fmt.Sprintf("sram: ReadBytesInto out of range on %s: off=%d len=%d size=%dB", a.name, off, n, a.Bytes()))
+	}
+	i, j := 0, off
+	for ; i < n && j&7 != 0; i++ {
+		dst[i] = byte(a.bits[j>>3] >> (8 * uint(j&7)))
+		j++
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], a.bits[j>>3])
+		j += 8
+	}
+	for ; i < n; i++ {
+		dst[i] = byte(a.bits[j>>3] >> (8 * uint(j&7)))
+		j++
+	}
+}
+
 // Fill writes the byte pattern v across the whole array by splatting it
 // into a packed word and storing words directly — no scratch buffer.
 func (a *Array) Fill(v byte) {
 	a.checkAccess("Fill")
+	a.gen++
 	splat := uint64(v) * 0x0101010101010101
 	nbytes := a.Bytes()
 	nwords := nbytes / 8
@@ -386,6 +480,13 @@ func (a *Array) Fill(v byte) {
 		a.storeByte(j, v)
 	}
 }
+
+// Gen returns the monotonic content-generation counter: it advances on
+// every write and on every physics event (fingerprint power-up, decay
+// resolution) that can change the array’s contents. A matching stamp
+// guarantees the content a consumer cached from this array is still
+// exactly what the array holds.
+func (a *Array) Gen() uint64 { return a.gen }
 
 // Snapshot returns the full content of the array as bytes. It is the
 // simulation-level equivalent of a perfect physical readout and is used

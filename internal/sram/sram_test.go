@@ -56,6 +56,66 @@ func TestUint64RoundTrip(t *testing.T) {
 	}
 }
 
+// TestUintNMatchesByteOps differentially checks the subword fast paths
+// against the byte-slice reference for every size × alignment, including
+// word-straddling offsets, and verifies neighbouring bytes are untouched.
+func TestUintNMatchesByteOps(t *testing.T) {
+	env := sim.NewEnv()
+	a := newPoweredArray(t, env, 4096, 7)
+	ref := newPoweredArray(t, env, 4096, 7)
+	pattern := make([]byte, 512)
+	for i := range pattern {
+		pattern[i] = byte(i*37 + 11)
+	}
+	a.WriteBytes(0, pattern)
+	ref.WriteBytes(0, pattern)
+	for size := 1; size <= 8; size++ {
+		for off := 0; off < 24; off++ {
+			// Read paths agree with the byte reference.
+			want := uint64(0)
+			for k := size - 1; k >= 0; k-- {
+				want = want<<8 | uint64(ref.ReadBytes(off+k, 1)[0])
+			}
+			if got := a.ReadUintN(off, size); got != want {
+				t.Fatalf("ReadUintN(off=%d,size=%d) = %#x, want %#x", off, size, got, want)
+			}
+			// Write paths mutate identically, with garbage high bits masked.
+			v := uint64(0xA5C3_19F0_7E62_B4D8) + uint64(off*size)
+			a.WriteUintN(off, size, v)
+			buf := make([]byte, size)
+			for k := 0; k < size; k++ {
+				buf[k] = byte(v >> (8 * k))
+			}
+			ref.WriteBytes(off, buf)
+			ga, gr := a.ReadBytes(0, 64), ref.ReadBytes(0, 64)
+			for k := range ga {
+				if ga[k] != gr[k] {
+					t.Fatalf("WriteUintN(off=%d,size=%d): byte %d diverged: %#x vs %#x", off, size, k, ga[k], gr[k])
+				}
+			}
+		}
+	}
+}
+
+// TestReadBytesIntoMatchesReadBytes checks the zero-alloc copy form.
+func TestReadBytesIntoMatchesReadBytes(t *testing.T) {
+	env := sim.NewEnv()
+	a := newPoweredArray(t, env, 4096, 9)
+	for i := 0; i < a.Bytes(); i++ {
+		a.WriteBytes(i, []byte{byte(i * 101)})
+	}
+	dst := make([]byte, 64)
+	for _, off := range []int{0, 1, 7, 8, 63, 200} {
+		a.ReadBytesInto(off, dst)
+		want := a.ReadBytes(off, len(dst))
+		for k := range dst {
+			if dst[k] != want[k] {
+				t.Fatalf("ReadBytesInto(off=%d): byte %d = %#x, want %#x", off, k, dst[k], want[k])
+			}
+		}
+	}
+}
+
 func TestBitRoundTripProperty(t *testing.T) {
 	env := sim.NewEnv()
 	a := newPoweredArray(t, env, 1024, 3)

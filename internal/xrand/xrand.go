@@ -9,7 +9,10 @@
 // by Blackman and Vigna.
 package xrand
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // GoldenGamma is the splitmix64 state increment (2⁶⁴/φ rounded to odd).
 // Exported so batch kernels can jump a splitmix stream to its k-th output
@@ -73,18 +76,20 @@ func Derive(seed uint64, label string) *Rand {
 	return New(h)
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
-// Uint64 returns the next 64 bits from the stream.
+// Uint64 returns the next 64 bits from the stream. bits.RotateLeft64 is a
+// compiler intrinsic that the inliner costs at ~1 node, which keeps this
+// whole function under the inlining budget — every hot sampling kernel
+// (SRAM power-up, DRAM retention fill) then advances the state without a
+// call. The rotation is bit-identical to the shift-pair it replaced.
 func (r *Rand) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
+	s1 := r.s[1]
+	result := bits.RotateLeft64(s1*5, 7) * 9
 	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
+	r.s[3] ^= s1
+	r.s[1] = s1 ^ r.s[2]
 	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
+	r.s[2] ^= s1 << 17
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
 	return result
 }
 
@@ -137,8 +142,13 @@ func (r *Rand) NormFloat64() float64 {
 		return r.spare
 	}
 	for {
-		u := 2*r.Float64() - 1
-		v := 2*r.Float64() - 1
+		// Each draw is the Float64 expression spelled out so the inlined
+		// Uint64 state update lands directly in this loop: the DRAM
+		// retention fill draws tens of millions of normals per experiment
+		// and the per-draw call overhead was measurable. Bit-identical to
+		// 2*r.Float64() - 1.
+		u := 2*(float64(r.Uint64()>>11)*(1.0/(1<<53))) - 1
+		v := 2*(float64(r.Uint64()>>11)*(1.0/(1<<53))) - 1
 		s := u*u + v*v
 		if s >= 1 || s == 0 {
 			continue
@@ -147,6 +157,39 @@ func (r *Rand) NormFloat64() float64 {
 		r.spare = v * m
 		r.haveSpare = true
 		return u * m
+	}
+}
+
+// FillNormFloat32 fills dst[i] = float32(scale · NormFloat64()) for every
+// i, consuming the stream exactly as len(dst) sequential NormFloat64
+// calls would — including the spare-value carry across the call boundary
+// — but with the polar loop and the inlined xoshiro update living in one
+// function. DRAM retention fills draw tens of millions of normals; the
+// per-value method-call and spare-branch overhead was measurable there.
+func (r *Rand) FillNormFloat32(dst []float32, scale float64) {
+	i := 0
+	if r.haveSpare && i < len(dst) {
+		r.haveSpare = false
+		dst[i] = float32(scale * r.spare)
+		i++
+	}
+	for i < len(dst) {
+		u := 2*(float64(r.Uint64()>>11)*(1.0/(1<<53))) - 1
+		v := 2*(float64(r.Uint64()>>11)*(1.0/(1<<53))) - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		m := math.Sqrt(-2 * math.Log(s) / s)
+		dst[i] = float32(scale * (u * m))
+		i++
+		if i < len(dst) {
+			dst[i] = float32(scale * (v * m))
+			i++
+		} else {
+			r.spare = v * m
+			r.haveSpare = true
+		}
 	}
 }
 

@@ -234,3 +234,57 @@ func BenchmarkNormFloat64(b *testing.B) {
 		_ = r.NormFloat64()
 	}
 }
+
+// TestFillNormFloat32MatchesSequential pins the batch filler to the
+// sequential NormFloat64 construction it replaces: same draws, same
+// order, same spare carry across call boundaries — the DRAM retention
+// fill's bit-identity rides on this equivalence.
+func TestFillNormFloat32MatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1001} {
+		for _, scale := range []float64{1.0, 0.35, 2.5} {
+			ref := New(0xDECAF + uint64(n))
+			got := New(0xDECAF + uint64(n))
+
+			want := make([]float32, n)
+			for i := range want {
+				want[i] = float32(scale * ref.NormFloat64())
+			}
+			dst := make([]float32, n)
+			got.FillNormFloat32(dst, scale)
+
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d scale=%v: dst[%d] = %v, want %v", n, scale, i, dst[i], want[i])
+				}
+			}
+			// The streams must stay aligned afterwards, including the spare.
+			for k := 0; k < 5; k++ {
+				w, g := ref.NormFloat64(), got.NormFloat64()
+				if w != g {
+					t.Fatalf("n=%d scale=%v: stream diverged after fill at draw %d: %v vs %v", n, scale, k, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestFillNormFloat32SpareCarryIn checks the filler consumes a spare left
+// behind by a preceding odd NormFloat64 call, as sequential calls would.
+func TestFillNormFloat32SpareCarryIn(t *testing.T) {
+	ref := New(42)
+	got := New(42)
+	_ = ref.NormFloat64() // leaves a spare cached
+	_ = got.NormFloat64()
+
+	want := make([]float32, 9)
+	for i := range want {
+		want[i] = float32(1.7 * ref.NormFloat64())
+	}
+	dst := make([]float32, 9)
+	got.FillNormFloat32(dst, 1.7)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}

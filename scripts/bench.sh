@@ -1,0 +1,54 @@
+#!/bin/sh
+# Performance record keeper: runs the repository's headline benchmarks
+# and appends the results as BENCH_<n>.json at the repo root (the lowest
+# unused n), tagged with the date and commit so regressions can be
+# bisected against the recorded history.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime  go-test -benchtime value for the experiment benchmarks
+#              (default 1x; the micro-benchmarks always use 2s).
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1x}"
+
+n=1
+while [ -e "BENCH_${n}.json" ]; do
+	n=$((n + 1))
+done
+out="BENCH_${n}.json"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> micro-benchmarks (2s each)"
+go test -run '^$' -bench 'BenchmarkCPUStep$' -benchtime 2s ./internal/soc/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkCacheAccessHit$|BenchmarkCacheAccessMiss$' -benchtime 2s ./internal/cache/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkOSWorkloadIPS$' -benchtime 2s ./internal/kernel/ | tee -a "$tmp"
+
+echo "==> experiment benchmarks (-benchtime ${BENCHTIME})"
+go test -run '^$' -bench 'BenchmarkFigure7ColdBoot$|BenchmarkFigure8OSScenario$|BenchmarkTable4ArraySweep$' \
+	-benchtime "$BENCHTIME" ./internal/experiments/ | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v commit="$(git describe --always --dirty 2>/dev/null || echo unknown)" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchmarks\": [", date, commit
+	sep = ""
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	nsop = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") nsop = $i
+	}
+	if (nsop == "") next
+	printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s}", sep, name, nsop
+	sep = ","
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" > "$out"
+
+echo "==> wrote $out"
+cat "$out"

@@ -17,5 +17,10 @@ go test -race -short ./...
 
 echo "==> benchmark smoke (1 iteration)"
 go test -run '^$' -bench 'ResolveDecay|PowerUpAll|FractionalHD|FractionOnes' -benchtime 1x ./internal/sram/ ./internal/analysis/
+go test -run '^$' -bench 'CPUStep|CacheAccessHit|CacheAccessMiss|OSWorkloadIPS' -benchtime 1x ./internal/soc/ ./internal/cache/ ./internal/kernel/
+
+echo "==> allocation-free fast-path gates"
+go test -run 'StepSteadyStateZeroAlloc' -count=1 ./internal/soc/
+go test -run 'AccessHitPathAllocFree|LineTransferAllocFree' -count=1 ./internal/cache/
 
 echo "OK"
