@@ -1,7 +1,8 @@
 // Command experiments regenerates the paper's evaluation: every table and
 // figure, plus the ablations, printed to stdout and optionally written to
 // an output directory (text reports and PBM bitmaps for the image
-// figures).
+// figures). The catalog itself lives in internal/registry, shared with
+// the voltbootd campaign service.
 //
 // Usage:
 //
@@ -9,9 +10,13 @@
 //	experiments -run figure     # run experiments whose name contains "figure"
 //	experiments -out results/   # also write artifacts
 //	experiments -seed 7 -skip-slow
+//	experiments -json           # one machine-readable record per experiment
 package main
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,14 +24,22 @@ import (
 	"strings"
 	"time"
 
-	voltboot "repro"
+	"repro/internal/registry"
 )
 
-// experiment is one runnable evaluation item.
-type experiment struct {
-	name string
-	slow bool
-	run  func(seed uint64, outDir string) (string, error)
+// record is the -json output: one line per experiment.
+type record struct {
+	Name    string  `json:"name"`
+	Seed    uint64  `json:"seed"`
+	Skipped bool    `json:"skipped,omitempty"`
+	OK      bool    `json:"ok"`
+	Error   string  `json:"error,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
+	// SHA256 is the hash of the rendered output — the same quantity the
+	// golden determinism tests pin, so drift is visible from the CLI.
+	SHA256    string   `json:"sha256,omitempty"`
+	Output    string   `json:"output,omitempty"`
+	Artifacts []string `json:"artifacts,omitempty"`
 }
 
 func writeFile(outDir, name string, data []byte) error {
@@ -36,174 +49,13 @@ func writeFile(outDir, name string, data []byte) error {
 	return os.WriteFile(filepath.Join(outDir, name), data, 0o644)
 }
 
-func catalog() []experiment {
-	return []experiment{
-		{"table1", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.Table1(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"figure3", false, func(seed uint64, out string) (string, error) {
-			r, err := voltboot.Figure3(seed)
-			if err != nil {
-				return "", err
-			}
-			if err := writeFile(out, "figure3_way0.pbm", r.PBM); err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"table2", false, func(uint64, string) (string, error) { return voltboot.Table2().String(), nil }},
-		{"table3", false, func(uint64, string) (string, error) { return voltboot.Table3().String(), nil }},
-		{"figure4", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.Figure4(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"figure5", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.Figure5(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"figure6", false, func(uint64, string) (string, error) { return voltboot.Figure6().String(), nil }},
-		{"figure7", false, func(seed uint64, _ string) (string, error) {
-			rs, err := voltboot.Figure7(seed)
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			for _, r := range rs {
-				b.WriteString(r.String())
-			}
-			return b.String(), nil
-		}},
-		{"figure8", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.Figure8(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"table4", true, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.Table4(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"section7.2", false, func(seed uint64, _ string) (string, error) {
-			var b strings.Builder
-			for _, spec := range []voltboot.DeviceSpec{voltboot.RaspberryPi4(), voltboot.RaspberryPi3()} {
-				r, err := voltboot.Section72(seed, spec)
-				if err != nil {
-					return "", err
-				}
-				b.WriteString(r.String())
-			}
-			return b.String(), nil
-		}},
-		{"section6.2", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.Accessibility(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"figure9", false, func(seed uint64, out string) (string, error) {
-			r, err := voltboot.Figure9(seed)
-			if err != nil {
-				return "", err
-			}
-			for q, pbm := range r.PBMs {
-				if err := writeFile(out, fmt.Sprintf("figure9_quadrant_%c.pbm", 'a'+q), pbm); err != nil {
-					return "", err
-				}
-			}
-			return r.String(), nil
-		}},
-		{"figure10", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.Figure10(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"countermeasures", true, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.Countermeasures(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"ablationA-probe-sweep", true, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.ProbeCurrentSweep(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"ablationB-retention-sweep", false, func(seed uint64, _ string) (string, error) {
-			return voltboot.RetentionSweep(seed).String(), nil
-		}},
-		{"ablationC-dram-coldboot", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.DRAMColdBoot(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"ablationD-imprint", false, func(seed uint64, _ string) (string, error) {
-			return voltboot.ImprintBaseline(seed).String(), nil
-		}},
-		{"ablationE-history-theft", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.HistoryTheft(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"caselock", true, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.CaSELock(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"ablationF-warm-reboot", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.WarmReboot(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"ablationG-context-switch", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.ContextSwitchLeak(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"ablationH-puf-clone", true, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.PUFClone(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
-		{"mcu-extension", false, func(seed uint64, _ string) (string, error) {
-			r, err := voltboot.MCUAttack(seed)
-			if err != nil {
-				return "", err
-			}
-			return r.String(), nil
-		}},
+func emitJSON(rec record) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
+	fmt.Println(string(b))
 }
 
 func main() {
@@ -212,6 +64,7 @@ func main() {
 		outDir    = flag.String("out", "", "directory for artifacts (text + PBM)")
 		seed      = flag.Uint64("seed", 0x5EED, "experiment seed")
 		skipSlow  = flag.Bool("skip-slow", false, "skip the multi-minute experiments")
+		jsonOut   = flag.Bool("json", false, "emit one JSON record per experiment instead of text")
 	)
 	flag.Parse()
 
@@ -223,23 +76,55 @@ func main() {
 	}
 
 	failed := 0
-	for _, e := range catalog() {
-		if *runFilter != "" && !strings.Contains(e.name, *runFilter) {
+	for _, e := range registry.Default().Experiments() {
+		if *runFilter != "" && !strings.Contains(e.Name, *runFilter) {
 			continue
 		}
-		if *skipSlow && e.slow {
-			fmt.Printf("=== %s: skipped (slow)\n\n", e.name)
+		if *skipSlow && e.Slow {
+			if *jsonOut {
+				emitJSON(record{Name: e.Name, Seed: *seed, Skipped: true})
+			} else {
+				fmt.Printf("=== %s: skipped (slow)\n\n", e.Name)
+			}
 			continue
+		}
+		params, _, err := e.Resolve(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
 		start := time.Now()
-		out, err := e.run(*seed, *outDir)
+		res, err := e.Run(context.Background(), registry.Request{Seed: *seed, Params: params})
+		elapsed := time.Since(start).Seconds()
 		if err != nil {
-			fmt.Printf("=== %s: FAILED: %v\n\n", e.name, err)
+			if *jsonOut {
+				emitJSON(record{Name: e.Name, Seed: *seed, Error: err.Error(), Seconds: elapsed})
+			} else {
+				fmt.Printf("=== %s: FAILED: %v\n\n", e.Name, err)
+			}
 			failed++
 			continue
 		}
-		fmt.Printf("=== %s (%.1fs)\n%s\n", e.name, time.Since(start).Seconds(), out)
-		if err := writeFile(*outDir, e.name+".txt", []byte(out)); err != nil {
+		rec := record{
+			Name: e.Name, Seed: *seed, OK: true, Seconds: elapsed,
+			SHA256: fmt.Sprintf("%x", sha256.Sum256([]byte(res.Text))),
+		}
+		for _, a := range res.Artifacts {
+			if err := writeFile(*outDir, a.Name, a.Data); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if *outDir != "" {
+				rec.Artifacts = append(rec.Artifacts, a.Name)
+			}
+		}
+		if *jsonOut {
+			rec.Output = res.Text
+			emitJSON(rec)
+		} else {
+			fmt.Printf("=== %s (%.1fs)\n%s\n", e.Name, elapsed, res.Text)
+		}
+		if err := writeFile(*outDir, e.Name+".txt", []byte(res.Text)); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,87 @@
+// Command voltbootd serves attack-campaign sweeps over HTTP: the full
+// experiment catalog behind a bounded job queue, a worker pool, and a
+// content-addressed result cache that serves repeated campaigns
+// byte-identically without re-simulating.
+//
+// Usage:
+//
+//	voltbootd                          # listen on :8532
+//	voltbootd -addr :9000 -workers 8 -queue 128
+//
+// Submit a Table 1 job and stream its progress:
+//
+//	curl -s -X POST localhost:8532/v1/jobs \
+//	     -d '{"runs":[{"experiment":"table1"}],"seed":24301}'
+//	curl -s localhost:8532/v1/jobs/job-1/events     # NDJSON progress
+//	curl -s localhost:8532/v1/jobs/job-1/result     # deterministic body
+//
+// SIGTERM/SIGINT drains gracefully: intake stops (503), queued and
+// running jobs finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+	"repro/internal/registry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8532", "listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker pool size")
+		queueDepth   = flag.Int("queue", 64, "submission queue depth (backpressure bound)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max time to finish jobs on shutdown")
+	)
+	flag.Parse()
+
+	reg := registry.Default()
+	mgr := campaign.New(campaign.Config{
+		Registry:   reg,
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+	})
+	srv := &http.Server{Addr: *addr, Handler: api.New(mgr, reg)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("voltbootd: serving %d experiments on %s (%d workers, queue %d)",
+			len(reg.Experiments()), *addr, *workers, *queueDepth)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("voltbootd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("voltbootd: signal received, draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the manager first so in-flight and queued jobs finish while
+	// clients can still poll their results, then close the listener.
+	if err := mgr.Drain(drainCtx); err != nil {
+		log.Printf("voltbootd: drain: %v", err)
+	} else {
+		log.Printf("voltbootd: all jobs drained")
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("voltbootd: shutdown: %v", err)
+	}
+	fmt.Println("voltbootd: bye")
+}

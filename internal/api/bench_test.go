@@ -1,0 +1,74 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/registry"
+)
+
+// BenchmarkCampaignSubmitCached measures the service's cached-campaign
+// round trip: POST wait:true + GET result over HTTP, with every run
+// served from the content-addressed cache. This is the pure serving
+// overhead — job bookkeeping, single-flight lookup, JSON, HTTP — with
+// zero simulation inside, i.e. the throughput ceiling for repeated
+// campaigns. Recorded by scripts/bench.sh.
+func BenchmarkCampaignSubmitCached(b *testing.B) {
+	reg := registry.New(&registry.Experiment{
+		Name: "bench", Doc: "instant", ArtifactKinds: []string{"text"},
+		Run: func(context.Context, registry.Request) (*registry.Result, error) {
+			return &registry.Result{Text: "bench\n"}, nil
+		},
+	})
+	mgr := campaign.New(campaign.Config{Registry: reg, Workers: 4, QueueDepth: 1024})
+	ts := httptest.NewServer(New(mgr, reg))
+	defer func() {
+		ts.Close()
+		_ = mgr.Drain(context.Background())
+	}()
+
+	body := `{"wait":true,"runs":[{"experiment":"bench","seed":1}]}`
+	submit := func() campaign.JobStatus {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		var st campaign.JobStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	// Warm the cache: the first submission simulates, all benched
+	// iterations must hit.
+	submit()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := submit()
+		if !st.Cached {
+			b.Fatal("benchmark iteration missed the cache")
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", ts.URL, st.ID))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if hdr := resp.Header.Get("X-Cache"); hdr != "hit" {
+			b.Fatalf("X-Cache = %q", hdr)
+		}
+	}
+}

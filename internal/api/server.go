@@ -1,0 +1,301 @@
+// Package api is the HTTP surface of the campaign service: a stdlib
+// net/http JSON API over internal/campaign that cmd/voltbootd serves.
+//
+// Routes:
+//
+//	GET    /healthz                  liveness
+//	GET    /v1/experiments           the registry catalog with param schemas
+//	POST   /v1/jobs                  submit a campaign (429 when the queue is full)
+//	GET    /v1/jobs                  list jobs
+//	GET    /v1/jobs/{id}             one job's status + progress counters
+//	GET    /v1/jobs/{id}/result      the deterministic result body (X-Cache: hit|miss)
+//	DELETE /v1/jobs/{id}             cancel
+//	GET    /v1/jobs/{id}/events      NDJSON progress stream, replay + live
+//
+// POST bodies name runs either explicitly ("runs") or as a catalog sweep
+// ("match" + skip_slow). With "wait": true the request blocks until the
+// job finishes and the job is request-scoped: a client that disconnects
+// mid-wait cancels its job.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/campaign"
+	"repro/internal/registry"
+)
+
+// DefaultSeed seeds runs that specify none — the same 0x5EED default as
+// cmd/experiments.
+const DefaultSeed uint64 = 0x5EED
+
+// Server is the http.Handler for the campaign service.
+type Server struct {
+	mgr *campaign.Manager
+	reg *registry.Registry
+	mux *http.ServeMux
+}
+
+// New wires the routes.
+func New(mgr *campaign.Manager, reg *registry.Registry) *Server {
+	s := &Server{mgr: mgr, reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// experimentInfo is one /v1/experiments row.
+type experimentInfo struct {
+	Name          string               `json:"name"`
+	Doc           string               `json:"doc"`
+	Slow          bool                 `json:"slow"`
+	ArtifactKinds []string             `json:"artifact_kinds"`
+	Params        []registry.ParamSpec `json:"params,omitempty"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	exps := s.reg.Experiments()
+	out := make([]experimentInfo, 0, len(exps))
+	for _, e := range exps {
+		out = append(out, experimentInfo{
+			Name: e.Name, Doc: e.Doc, Slow: e.Slow,
+			ArtifactKinds: e.ArtifactKinds, Params: e.Params,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	// Seed is the default seed for runs that don't set their own.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Runs names the campaign explicitly…
+	Runs []submitRun `json:"runs,omitempty"`
+	// …or Match sweeps the catalog for experiments whose name contains
+	// the substring ("" = everything). Mutually exclusive with Runs.
+	Match    *string `json:"match,omitempty"`
+	SkipSlow bool    `json:"skip_slow,omitempty"`
+	// Wait blocks the request until the job is terminal; the job becomes
+	// request-scoped (client disconnect cancels it).
+	Wait bool `json:"wait,omitempty"`
+}
+
+type submitRun struct {
+	Experiment string            `json:"experiment"`
+	Seed       *uint64           `json:"seed,omitempty"`
+	Params     map[string]string `json:"params,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	defaultSeed := DefaultSeed
+	if req.Seed != nil {
+		defaultSeed = *req.Seed
+	}
+
+	var spec campaign.Spec
+	switch {
+	case len(req.Runs) > 0 && req.Match != nil:
+		writeError(w, http.StatusBadRequest, errors.New(`"runs" and "match" are mutually exclusive`))
+		return
+	case len(req.Runs) > 0:
+		for _, sr := range req.Runs {
+			seed := defaultSeed
+			if sr.Seed != nil {
+				seed = *sr.Seed
+			}
+			spec.Runs = append(spec.Runs, campaign.RunSpec{
+				Experiment: sr.Experiment, Seed: seed, Params: sr.Params,
+			})
+		}
+	case req.Match != nil:
+		for _, e := range s.reg.Match(*req.Match) {
+			if req.SkipSlow && e.Slow {
+				continue
+			}
+			spec.Runs = append(spec.Runs, campaign.RunSpec{Experiment: e.Name, Seed: defaultSeed})
+		}
+		if len(spec.Runs) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("match %q selects no experiments", *req.Match))
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, errors.New(`body must set "runs" or "match"`))
+		return
+	}
+
+	st, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, campaign.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, campaign.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	// Request-scoped job: follow the event stream until terminal; if the
+	// client goes away first, the job goes with it.
+	from := 0
+	for {
+		evs, watch, terminal, err := s.mgr.EventsSince(st.ID, from)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		from += len(evs)
+		if terminal && len(evs) == 0 {
+			break
+		}
+		if !terminal {
+			select {
+			case <-watch:
+			case <-r.Context().Done():
+				_, _ = s.mgr.Cancel(st.ID)
+				return
+			}
+		}
+	}
+	final, err := s.mgr.Get(st.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, final)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Get(r.PathValue("id"))
+	if errors.Is(err, campaign.ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, cached, err := s.mgr.Result(id)
+	switch {
+	case errors.Is(err, campaign.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, campaign.ErrNotFinished):
+		st, gerr := s.mgr.Get(id)
+		if gerr == nil && st.State == campaign.StateCancelled {
+			writeError(w, http.StatusGone, errors.New("job was cancelled"))
+			return
+		}
+		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil: // the job's own failure
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Cancel(r.PathValue("id"))
+	if errors.Is(err, campaign.ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleEvents streams a job's progress as NDJSON: full replay, then
+// live events, closing after the terminal event (or when the client
+// disconnects).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.mgr.Get(id); errors.Is(err, campaign.ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	from := 0
+	for {
+		evs, watch, terminal, err := s.mgr.EventsSince(id, from)
+		if err != nil {
+			return
+		}
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		from += len(evs)
+		if terminal && len(evs) == 0 {
+			return
+		}
+		if !terminal {
+			select {
+			case <-watch:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}

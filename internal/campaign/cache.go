@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/registry"
+)
+
+// CacheKey content-addresses one experiment run: SHA-256 over the
+// experiment name, the seed, and the canonical parameter string from
+// registry.Experiment.Resolve. The fields are length-prefixed so no two
+// distinct triples can collide by concatenation.
+func CacheKey(experiment string, seed uint64, canonicalParams string) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeField := func(b []byte) {
+		binary.BigEndian.PutUint64(buf[:], uint64(len(b)))
+		h.Write(buf[:])
+		h.Write(b)
+	}
+	writeField([]byte(experiment))
+	binary.BigEndian.PutUint64(buf[:], seed)
+	h.Write(buf[:])
+	writeField([]byte(canonicalParams))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is one key's slot: pending while a leader simulates,
+// complete (rec or err) afterwards, or aborted when the leader was
+// cancelled before finishing. done closes exactly once, on completion or
+// abort; an aborted entry is already unlinked from the map, so a waiter
+// that observes it retries and may become the next leader.
+type cacheEntry struct {
+	done    chan struct{}
+	rec     json.RawMessage
+	err     error
+	aborted bool
+}
+
+// RunRecord is the deterministic per-run result record. It contains only
+// content derived from the run's inputs and outputs — no job IDs, no
+// timestamps — so identical keys marshal to identical bytes, which is
+// what makes the cache's byte-identical-replay guarantee checkable from
+// the outside.
+type RunRecord struct {
+	Experiment string            `json:"experiment"`
+	Seed       uint64            `json:"seed"`
+	Params     map[string]string `json:"params,omitempty"`
+	Key        string            `json:"key"`
+	Output     string            `json:"output"`
+	Artifacts  []ArtifactRecord  `json:"artifacts,omitempty"`
+}
+
+// ArtifactRecord carries one binary artifact of a run. Data is base64 in
+// JSON (encoding/json's []byte convention).
+type ArtifactRecord struct {
+	Name   string `json:"name"`
+	SHA256 string `json:"sha256"`
+	Size   int    `json:"size"`
+	Data   []byte `json:"data"`
+}
+
+// executeRun serves run i of job j from the cache, coalesces onto an
+// in-flight execution of the same key, or becomes the leader and
+// simulates. cached is true when this job did not simulate the run
+// itself.
+func (m *Manager) executeRun(j *job, i int) (rec json.RawMessage, cached bool, err error) {
+	key := j.keys[i]
+	for {
+		m.mu.Lock()
+		e := m.cache[key]
+		if e == nil {
+			// Leader: claim the key, simulate outside the lock.
+			e = &cacheEntry{done: make(chan struct{})}
+			m.cache[key] = e
+			m.mu.Unlock()
+
+			rec, err := m.computeRun(j.ctx, j.spec[i], key)
+
+			m.mu.Lock()
+			if err != nil && (j.ctx.Err() != nil || errors.Is(err, context.Canceled)) {
+				// Cancelled mid-run: the result never materialized, so the
+				// key must not be poisoned. Unlink and wake waiters to
+				// retry (one of them becomes the next leader).
+				delete(m.cache, key)
+				e.aborted = true
+				close(e.done)
+				m.mu.Unlock()
+				return nil, false, j.ctx.Err()
+			}
+			// Completed runs — successes and deterministic failures alike
+			// — stay cached: the same inputs would fail the same way.
+			e.rec, e.err = rec, err
+			close(e.done)
+			m.mu.Unlock()
+			return rec, false, err
+		}
+		m.mu.Unlock()
+
+		select {
+		case <-e.done:
+			m.mu.Lock()
+			aborted := e.aborted
+			m.mu.Unlock()
+			if aborted {
+				continue // leader cancelled; contend for leadership
+			}
+			return e.rec, true, e.err
+		case <-j.ctx.Done():
+			return nil, false, j.ctx.Err()
+		}
+	}
+}
+
+// computeRun simulates one run and marshals its deterministic record.
+func (m *Manager) computeRun(ctx context.Context, rs RunSpec, key string) (json.RawMessage, error) {
+	exp, ok := m.reg.Lookup(rs.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown experiment %q", rs.Experiment)
+	}
+	res, err := exp.Run(ctx, registry.Request{Seed: rs.Seed, Params: rs.Params})
+	if err != nil {
+		return nil, err
+	}
+	rec := RunRecord{
+		Experiment: rs.Experiment,
+		Seed:       rs.Seed,
+		Params:     rs.Params,
+		Key:        key,
+		Output:     res.Text,
+	}
+	for _, a := range res.Artifacts {
+		sum := sha256.Sum256(a.Data)
+		rec.Artifacts = append(rec.Artifacts, ArtifactRecord{
+			Name:   a.Name,
+			SHA256: hex.EncodeToString(sum[:]),
+			Size:   len(a.Data),
+			Data:   a.Data,
+		})
+	}
+	return json.Marshal(rec)
+}

@@ -1,0 +1,511 @@
+// Package campaign is the job subsystem that serves attack-campaign
+// sweeps: submit a set of experiment runs, watch their progress, fetch a
+// deterministic result body.
+//
+// Three properties define the design:
+//
+//   - *Bounded intake.* Submissions pass through a fixed-depth queue into
+//     a fixed-size worker pool. A full queue rejects immediately
+//     (ErrQueueFull → HTTP 429), never blocks the submitter — backpressure
+//     is the caller's signal to go away, not an invitation to pile up.
+//
+//   - *Content-addressed results.* Every run is keyed by the SHA-256 of
+//     (experiment name, seed, canonicalized params). The simulator is
+//     deterministic by construction — same key, same bits, any worker
+//     count — so a completed run's record is cached and served
+//     byte-identically to every later submission of the same key, without
+//     re-simulating. In-flight keys coalesce: concurrent identical
+//     submissions share one execution (single-flight), and the followers
+//     count as cache hits.
+//
+//   - *Cooperative cancellation.* Each job owns a context that Cancel
+//     fires. The context threads through registry.Experiment.Run into
+//     runner.MapCtx, so cancelling a running grid experiment frees its
+//     worker at the next trial boundary instead of after the whole sweep.
+//
+// Job lifecycle: queued → running → done | failed | cancelled. Every
+// transition (and every per-run completion) appends an Event; subscribers
+// replay the history and then follow live, which is what the HTTP layer
+// streams as NDJSON.
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors.
+var (
+	ErrQueueFull   = errors.New("campaign: submission queue full")
+	ErrDraining    = errors.New("campaign: manager is draining")
+	ErrNotFound    = errors.New("campaign: no such job")
+	ErrNotFinished = errors.New("campaign: job has not finished")
+)
+
+// RunSpec is one experiment run inside a campaign. Params may be partial
+// and un-normalized; Submit resolves them against the registry schema.
+type RunSpec struct {
+	Experiment string            `json:"experiment"`
+	Seed       uint64            `json:"seed"`
+	Params     map[string]string `json:"params,omitempty"`
+}
+
+// Spec is a campaign: an ordered list of runs executed sequentially by
+// one worker. (Grid experiments parallelize internally via the runner;
+// campaign-level parallelism comes from submitting more jobs.)
+type Spec struct {
+	Runs []RunSpec `json:"runs"`
+}
+
+// RunStatus is the externally visible state of one run of a job.
+type RunStatus struct {
+	Experiment string `json:"experiment"`
+	Key        string `json:"key"`
+	State      State  `json:"state"`
+	// Cached is true when the run's record was served from the
+	// content-addressed cache (including coalesced in-flight waits)
+	// rather than simulated by this job.
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Progress is the live counter set of a job.
+type Progress struct {
+	Done      int `json:"done"`
+	Total     int `json:"total"`
+	CacheHits int `json:"cache_hits"`
+}
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	ID       string      `json:"id"`
+	State    State       `json:"state"`
+	Progress Progress    `json:"progress"`
+	// Cached is true when the whole job completed without simulating
+	// anything: every run was served from the cache.
+	Cached   bool        `json:"cached"`
+	Error    string      `json:"error,omitempty"`
+	Runs     []RunStatus `json:"runs"`
+	Created  time.Time   `json:"created"`
+	Started  *time.Time  `json:"started,omitempty"`
+	Finished *time.Time  `json:"finished,omitempty"`
+}
+
+// Event is one entry of a job's progress stream.
+type Event struct {
+	Seq   int    `json:"seq"`
+	Job   string `json:"job"`
+	State State  `json:"state"`
+	// Run/RunState/Cached describe a per-run transition; empty for pure
+	// job-state events.
+	Run      string `json:"run,omitempty"`
+	RunState State  `json:"run_state,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	Progress Progress `json:"progress"`
+	Error    string `json:"error,omitempty"`
+}
+
+// job is the internal job record. All mutable fields are guarded by the
+// manager's mutex.
+type job struct {
+	id     string
+	spec   []RunSpec // params resolved to canonical form
+	keys   []string  // cache key per run
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state    State
+	runs     []RunStatus
+	progress Progress
+	events   []Event
+	watch    chan struct{} // closed and replaced on every event
+	result   []byte
+	cached   bool
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Registry resolves and runs experiments. Required.
+	Registry *registry.Registry
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the submission queue (default 64). Submissions
+	// beyond Workers in-flight + QueueDepth queued fail with ErrQueueFull.
+	QueueDepth int
+}
+
+// Manager owns the queue, the worker pool, the job table and the result
+// cache.
+type Manager struct {
+	reg   *registry.Registry
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	cache    map[string]*cacheEntry
+	nextID   int
+	draining bool
+}
+
+// New starts a Manager with its worker pool.
+func New(cfg Config) *Manager {
+	if cfg.Registry == nil {
+		panic("campaign: Config.Registry is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	m := &Manager{
+		reg:   cfg.Registry,
+		queue: make(chan *job, depth),
+		jobs:  make(map[string]*job),
+		cache: make(map[string]*cacheEntry),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates a campaign against the registry, enqueues it, and
+// returns the queued job's status. It never blocks: a full queue returns
+// ErrQueueFull, a draining manager ErrDraining.
+func (m *Manager) Submit(spec Spec) (JobStatus, error) {
+	if len(spec.Runs) == 0 {
+		return JobStatus{}, errors.New("campaign: empty campaign")
+	}
+	resolved := make([]RunSpec, len(spec.Runs))
+	keys := make([]string, len(spec.Runs))
+	for i, rs := range spec.Runs {
+		exp, ok := m.reg.Lookup(rs.Experiment)
+		if !ok {
+			return JobStatus{}, fmt.Errorf("campaign: unknown experiment %q", rs.Experiment)
+		}
+		params, canon, err := exp.Resolve(rs.Params)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		resolved[i] = RunSpec{Experiment: rs.Experiment, Seed: rs.Seed, Params: params}
+		keys[i] = CacheKey(rs.Experiment, rs.Seed, canon)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		spec:    resolved,
+		keys:    keys,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		watch:   make(chan struct{}),
+		created: time.Now(),
+	}
+	j.runs = make([]RunStatus, len(resolved))
+	for i := range resolved {
+		j.runs[i] = RunStatus{Experiment: resolved[i].Experiment, Key: keys[i], State: StateQueued}
+	}
+	j.progress = Progress{Total: len(resolved)}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		cancel()
+		return JobStatus{}, ErrDraining
+	}
+	m.nextID++
+	j.id = fmt.Sprintf("job-%d", m.nextID)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	select {
+	case m.queue <- j:
+	default:
+		delete(m.jobs, j.id)
+		m.order = m.order[:len(m.order)-1]
+		m.mu.Unlock()
+		cancel()
+		return JobStatus{}, ErrQueueFull
+	}
+	m.emitLocked(j, Event{State: StateQueued})
+	st := j.statusLocked()
+	m.mu.Unlock()
+	return st, nil
+}
+
+// Get returns a job's status snapshot.
+func (m *Manager) Get(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return j.statusLocked(), nil
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].statusLocked())
+	}
+	return out
+}
+
+// Cancel fires a job's context. A queued job is finalized as cancelled
+// immediately; a running job transitions when its experiment observes the
+// context (grid experiments at the next trial dispatch). Cancelling a
+// terminal job is a no-op.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return JobStatus{}, ErrNotFound
+	}
+	j.cancel()
+	if j.state == StateQueued {
+		m.finalizeLocked(j, StateCancelled, context.Canceled)
+	}
+	st := j.statusLocked()
+	m.mu.Unlock()
+	return st, nil
+}
+
+// Result returns a finished job's deterministic result body and whether
+// the whole body was served from the cache. ErrNotFinished while the job
+// is queued/running or cancelled; the job's own error if it failed.
+func (m *Manager) Result(id string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false, ErrNotFound
+	}
+	switch j.state {
+	case StateDone:
+		return j.result, j.cached, nil
+	case StateFailed:
+		return nil, false, j.err
+	default:
+		return nil, false, ErrNotFinished
+	}
+}
+
+// EventsSince returns the events of a job from sequence number from
+// onwards, a channel that closes when a further event arrives, and
+// whether the job is terminal. Callers loop: drain, emit, wait on the
+// channel (or their own context), repeat until terminal with no backlog.
+func (m *Manager) EventsSince(id string, from int) ([]Event, <-chan struct{}, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, false, ErrNotFound
+	}
+	var evs []Event
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.watch, j.state.Terminal(), nil
+}
+
+// Drain stops intake (new Submits fail with ErrDraining), lets the
+// workers finish every queued and running job, and returns when the pool
+// is idle or ctx expires.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker executes jobs from the queue until it closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob drives one job through its lifecycle.
+func (m *Manager) runJob(j *job) {
+	m.mu.Lock()
+	if j.state.Terminal() { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	if j.ctx.Err() != nil {
+		m.finalizeLocked(j, StateCancelled, j.ctx.Err())
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	m.emitLocked(j, Event{State: StateRunning})
+	m.mu.Unlock()
+
+	records := make([]json.RawMessage, len(j.spec))
+	allCached := true
+	for i := range j.spec {
+		if err := j.ctx.Err(); err != nil {
+			m.finalize(j, StateCancelled, err)
+			return
+		}
+		m.setRunState(j, i, StateRunning, false, nil)
+		rec, cached, err := m.executeRun(j, i)
+		if err != nil {
+			if j.ctx.Err() != nil || errors.Is(err, context.Canceled) {
+				m.setRunState(j, i, StateCancelled, false, err)
+				m.finalize(j, StateCancelled, context.Canceled)
+			} else {
+				m.setRunState(j, i, StateFailed, cached, err)
+				m.finalize(j, StateFailed, fmt.Errorf("campaign: run %q: %w", j.spec[i].Experiment, err))
+			}
+			return
+		}
+		records[i] = rec
+		allCached = allCached && cached
+		m.setRunState(j, i, StateDone, cached, nil)
+	}
+
+	body, err := json.Marshal(struct {
+		Runs []json.RawMessage `json:"runs"`
+	}{records})
+	if err != nil {
+		m.finalize(j, StateFailed, err)
+		return
+	}
+	m.mu.Lock()
+	j.result = body
+	j.cached = allCached
+	m.finalizeLocked(j, StateDone, nil)
+	m.mu.Unlock()
+}
+
+// setRunState records a per-run transition and emits its event.
+func (m *Manager) setRunState(j *job, i int, s State, cached bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.runs[i].State = s
+	j.runs[i].Cached = cached
+	if err != nil {
+		j.runs[i].Error = err.Error()
+	}
+	if s == StateDone {
+		j.progress.Done++
+		if cached {
+			j.progress.CacheHits++
+		}
+	}
+	ev := Event{Run: j.spec[i].Experiment, RunState: s, Cached: cached, State: j.state}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	m.emitLocked(j, ev)
+}
+
+func (m *Manager) finalize(j *job, s State, err error) {
+	m.mu.Lock()
+	m.finalizeLocked(j, s, err)
+	m.mu.Unlock()
+}
+
+// finalizeLocked moves a job to a terminal state exactly once.
+func (m *Manager) finalizeLocked(j *job, s State, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	j.err = err
+	j.finished = time.Now()
+	j.cancel() // release the context's resources in every terminal path
+	ev := Event{State: s, Cached: j.cached}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	m.emitLocked(j, ev)
+}
+
+// emitLocked appends an event (stamping seq, job id and live progress)
+// and wakes every watcher.
+func (m *Manager) emitLocked(j *job, ev Event) {
+	ev.Seq = len(j.events)
+	ev.Job = j.id
+	ev.Progress = j.progress
+	j.events = append(j.events, ev)
+	close(j.watch)
+	j.watch = make(chan struct{})
+}
+
+// statusLocked snapshots a job.
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		Progress: j.progress,
+		Cached:   j.cached,
+		Runs:     append([]RunStatus(nil), j.runs...),
+		Created:  j.created,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/aes"
@@ -36,9 +38,16 @@ type ProbeSweepResult struct {
 // cells are independent and fan out across CPUs; rows come back in sweep
 // order regardless of scheduling.
 func ProbeCurrentSweep(seed uint64) (*ProbeSweepResult, error) {
+	return ProbeCurrentSweepCtx(context.Background(), seed)
+}
+
+// ProbeCurrentSweepCtx is ProbeCurrentSweep with cooperative
+// cancellation: the sweep stops dispatching current-limit cells once ctx
+// is cancelled and returns ctx.Err().
+func ProbeCurrentSweepCtx(ctx context.Context, seed uint64) (*ProbeSweepResult, error) {
 	spec := soc.BCM2711()
 	limits := []float64{0.1, 0.25, 0.5, 1.0, 2.0, 2.4, 2.6, 3.0, 3.5, 4.0}
-	rows, err := runner.Map(len(limits), func(i int) (ProbeSweepRow, error) {
+	rows, err := runner.MapCtx(ctx, len(limits), runtime.GOMAXPROCS(0), func(i int) (ProbeSweepRow, error) {
 		amps := limits[i]
 		b, _, err := newTrialBoard(spec, soc.Options{}, seed)
 		if err != nil {
@@ -99,17 +108,33 @@ type RetentionSweepResult struct {
 	Cells [][]RetentionSweepCell
 }
 
+// RetentionSweepTemps is the default temperature axis of Ablation B.
+func RetentionSweepTemps() []float64 { return []float64{25, 0, -40, -80, -110, -150} }
+
+// RetentionSweepOffTimes is the default power-off-time axis of Ablation B.
+func RetentionSweepOffTimes() []sim.Time {
+	return []sim.Time{1 * sim.Millisecond, 20 * sim.Millisecond, 100 * sim.Millisecond, 1 * sim.Second}
+}
+
 // RetentionSweep measures a 64 KB SRAM array's retention across the
-// temperature/off-time grid. The grid is flattened to temp-major index
-// order and fanned across CPUs: every cell owns a private quiet
+// default temperature/off-time grid. The grid is flattened to temp-major
+// index order and fanned across CPUs: every cell owns a private quiet
 // environment and a same-seed array, so the table is identical to the
 // serial nested loop it replaces.
 func RetentionSweep(seed uint64) *RetentionSweepResult {
-	res := &RetentionSweepResult{
-		Temps:    []float64{25, 0, -40, -80, -110, -150},
-		OffTimes: []sim.Time{1 * sim.Millisecond, 20 * sim.Millisecond, 100 * sim.Millisecond, 1 * sim.Second},
-	}
-	cells := runner.MapNoErr(len(res.Temps)*len(res.OffTimes), func(i int) RetentionSweepCell {
+	// Background context + default grid cannot fail.
+	res, _ := RetentionSweepGridCtx(context.Background(), seed, RetentionSweepTemps(), RetentionSweepOffTimes())
+	return res
+}
+
+// RetentionSweepGridCtx is RetentionSweep over a caller-chosen grid (the
+// campaign registry's temps/offtimes overrides) with cooperative
+// cancellation. The default grid reproduces RetentionSweep byte for byte;
+// every cell still uses the same seed, so overriding the grid changes
+// which cells exist, never the silicon inside one.
+func RetentionSweepGridCtx(ctx context.Context, seed uint64, temps []float64, offTimes []sim.Time) (*RetentionSweepResult, error) {
+	res := &RetentionSweepResult{Temps: temps, OffTimes: offTimes}
+	cells, err := runner.MapCtx(ctx, len(res.Temps)*len(res.OffTimes), runtime.GOMAXPROCS(0), func(i int) (RetentionSweepCell, error) {
 		tempC := res.Temps[i/len(res.OffTimes)]
 		off := res.OffTimes[i%len(res.OffTimes)]
 		env := sim.NewQuietEnv()
@@ -125,12 +150,15 @@ func RetentionSweep(seed uint64) *RetentionSweepResult {
 			TempC:     tempC,
 			OffTime:   off,
 			Retention: analysis.RetentionAccuracy(before, arr.Snapshot()),
-		}
+		}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for ti := range res.Temps {
 		res.Cells = append(res.Cells, cells[ti*len(res.OffTimes):(ti+1)*len(res.OffTimes)])
 	}
-	return res
+	return res, nil
 }
 
 // String renders Ablation B. Retention accuracy bottoms out at ≈0.5

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/analysis"
@@ -45,6 +47,13 @@ type Table1Result struct {
 // are assembled in temperature order, so the rendered table is
 // byte-identical to a serial run (TestTable1DeterministicAcrossWorkers).
 func Table1(seed uint64) (*Table1Result, error) {
+	return Table1Ctx(context.Background(), seed)
+}
+
+// Table1Ctx is Table1 with cooperative cancellation: the temperature grid
+// stops dispatching columns once ctx is cancelled and the call returns
+// ctx.Err(). The success path is byte-identical to Table1.
+func Table1Ctx(ctx context.Context, seed uint64) (*Table1Result, error) {
 	temps := []struct {
 		c    float64
 		note string
@@ -59,7 +68,7 @@ func Table1(seed uint64) (*Table1Result, error) {
 		fracHDToStartup float64
 		hasFracHD       bool
 	}
-	cells, err := runner.Map(len(temps), func(i int) (cell, error) {
+	cells, err := runner.MapCtx(ctx, len(temps), runtime.GOMAXPROCS(0), func(i int) (cell, error) {
 		tc := temps[i]
 		b, env, err := newTrialBoard(soc.BCM2711(), soc.Options{}, seed)
 		if err != nil {

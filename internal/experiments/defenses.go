@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/analysis"
@@ -98,6 +100,13 @@ type defenseScenario struct {
 // rows are independent trials fanned across CPUs by runner.Map; the
 // survey order is fixed by the scenario table, not by scheduling.
 func Countermeasures(seed uint64) (*CountermeasuresResult, error) {
+	return CountermeasuresCtx(context.Background(), seed)
+}
+
+// CountermeasuresCtx is Countermeasures with cooperative cancellation:
+// the survey stops dispatching scenarios once ctx is cancelled and
+// returns ctx.Err().
+func CountermeasuresCtx(ctx context.Context, seed uint64) (*CountermeasuresResult, error) {
 	scenarios := []defenseScenario{
 		{name: "none (baseline)"},
 		{name: "purge on orderly shutdown"},
@@ -117,7 +126,7 @@ func Countermeasures(seed uint64) (*CountermeasuresResult, error) {
 		{name: "mandated authenticated boot", opts: soc.Options{AuthenticatedBoot: true},
 			expectedFailure: "extraction payload refused by boot chain"},
 	}
-	outcomes, err := runner.Map(len(scenarios), func(i int) (DefenseOutcome, error) {
+	outcomes, err := runner.MapCtx(ctx, len(scenarios), runtime.GOMAXPROCS(0), func(i int) (DefenseOutcome, error) {
 		sc := scenarios[i]
 		o, err := runDefendedAttack(seed, sc.opts, sc.secureVictim, sc.orderly)
 		if err != nil {

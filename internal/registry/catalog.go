@@ -1,0 +1,304 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/soc"
+)
+
+// Default returns the paper's evaluation catalog: every table and figure
+// plus the ablations, in the order cmd/experiments has always printed
+// them. The catalog is rebuilt per call so callers can't alias each
+// other's Experiment values.
+func Default() *Registry {
+	// textOnly adapts the common shape: seed in, printable result out.
+	textOnly := func(run func(ctx context.Context, seed uint64) (fmt.Stringer, error)) func(context.Context, Request) (*Result, error) {
+		return func(ctx context.Context, req Request) (*Result, error) {
+			r, err := run(ctx, req.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Text: r.String()}, nil
+		}
+	}
+	return New(
+		&Experiment{
+			Name: "table1", Doc: "§3 cold boot on SRAM across temperatures",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(ctx context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.Table1Ctx(ctx, seed)
+			}),
+		},
+		&Experiment{
+			Name: "figure3", Doc: "cold-booted d-cache way image (power-on noise)",
+			ArtifactKinds: []string{"text", "pbm"},
+			Run: func(ctx context.Context, req Request) (*Result, error) {
+				r, err := experiments.Figure3(req.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{
+					Text:      r.String(),
+					Artifacts: []Artifact{{Name: "figure3_way0.pbm", Data: r.PBM}},
+				}, nil
+			},
+		},
+		&Experiment{
+			Name: "table2", Doc: "evaluated platforms",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(context.Context, uint64) (fmt.Stringer, error) {
+				return experiments.Table2(), nil
+			}),
+		},
+		&Experiment{
+			Name: "table3", Doc: "probe pads and power domains",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(context.Context, uint64) (fmt.Stringer, error) {
+				return experiments.Table3(), nil
+			}),
+		},
+		&Experiment{
+			Name: "figure4", Doc: "PMIC/power topology rendering",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.Figure4(seed)
+			}),
+		},
+		&Experiment{
+			Name: "figure5", Doc: "attack execution step trace",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.Figure5(seed)
+			}),
+		},
+		&Experiment{
+			Name: "figure6", Doc: "probe attachment pad map",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(context.Context, uint64) (fmt.Stringer, error) {
+				return experiments.Figure6(), nil
+			}),
+		},
+		&Experiment{
+			Name: "figure7", Doc: "bare-metal i-cache retention, both SoCs",
+			ArtifactKinds: []string{"text"},
+			Run: func(_ context.Context, req Request) (*Result, error) {
+				rs, err := experiments.Figure7(req.Seed)
+				if err != nil {
+					return nil, err
+				}
+				var b strings.Builder
+				for _, r := range rs {
+					b.WriteString(r.String())
+				}
+				return &Result{Text: b.String()}, nil
+			},
+		},
+		&Experiment{
+			Name: "figure8", Doc: "OS-scenario cache snapshot",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.Figure8(seed)
+			}),
+		},
+		&Experiment{
+			Name: "table4", Doc: "d-cache extraction vs array size under a live OS", Slow: true,
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.Table4(seed)
+			}),
+		},
+		&Experiment{
+			Name: "section7.2", Doc: "vector-register retention per board",
+			ArtifactKinds: []string{"text"},
+			Params: []ParamSpec{{
+				Name: "boards", Kind: StringListKind, Default: "pi4,pi3",
+				Enum: []string{"pi4", "pi3"},
+				Doc:  "which boards to run, in order",
+			}},
+			Run: func(_ context.Context, req Request) (*Result, error) {
+				var b strings.Builder
+				for _, name := range SplitList(req.Params["boards"]) {
+					spec, err := boardSpec(name)
+					if err != nil {
+						return nil, err
+					}
+					r, err := experiments.Section72(req.Seed, spec)
+					if err != nil {
+						return nil, err
+					}
+					b.WriteString(r.String())
+				}
+				return &Result{Text: b.String()}, nil
+			},
+		},
+		&Experiment{
+			Name: "section6.2", Doc: "boot-clobbering / accessible-memory measurement",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.Accessibility(seed)
+			}),
+		},
+		&Experiment{
+			Name: "figure9", Doc: "i.MX53 iRAM bitmap extraction",
+			ArtifactKinds: []string{"text", "pbm"},
+			Run: func(_ context.Context, req Request) (*Result, error) {
+				r, err := experiments.Figure9(req.Seed)
+				if err != nil {
+					return nil, err
+				}
+				res := &Result{Text: r.String()}
+				for q, pbm := range r.PBMs {
+					res.Artifacts = append(res.Artifacts, Artifact{
+						Name: fmt.Sprintf("figure9_quadrant_%c.pbm", 'a'+q),
+						Data: pbm,
+					})
+				}
+				return res, nil
+			},
+		},
+		&Experiment{
+			Name: "figure10", Doc: "iRAM error-locality profile",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.Figure10(seed)
+			}),
+		},
+		&Experiment{
+			Name: "countermeasures", Doc: "§8 defense survey run as live attacks", Slow: true,
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(ctx context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.CountermeasuresCtx(ctx, seed)
+			}),
+		},
+		&Experiment{
+			Name: "ablationA-probe-sweep", Doc: "probe current limit vs extraction accuracy", Slow: true,
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(ctx context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.ProbeCurrentSweepCtx(ctx, seed)
+			}),
+		},
+		&Experiment{
+			Name: "ablationB-retention-sweep", Doc: "SRAM retention vs temperature and off-time",
+			ArtifactKinds: []string{"text"},
+			Params: []ParamSpec{
+				{
+					Name: "temps", Kind: FloatListKind,
+					Default: floatListDefault(experiments.RetentionSweepTemps()),
+					Doc:     "temperature axis in °C",
+				},
+				{
+					Name: "offtimes-ms", Kind: FloatListKind,
+					Default: offTimesDefaultMs(),
+					Doc:     "power-off-time axis in milliseconds",
+				},
+			},
+			Run: func(ctx context.Context, req Request) (*Result, error) {
+				temps, err := ParseFloatList(req.Params["temps"])
+				if err != nil {
+					return nil, err
+				}
+				offMs, err := ParseFloatList(req.Params["offtimes-ms"])
+				if err != nil {
+					return nil, err
+				}
+				offs := make([]sim.Time, len(offMs))
+				for i, ms := range offMs {
+					offs[i] = sim.Time(ms * float64(sim.Millisecond))
+				}
+				r, err := experiments.RetentionSweepGridCtx(ctx, req.Seed, temps, offs)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Text: r.String()}, nil
+			},
+		},
+		&Experiment{
+			Name: "ablationC-dram-coldboot", Doc: "classic DRAM cold boot, for contrast",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.DRAMColdBoot(seed)
+			}),
+		},
+		&Experiment{
+			Name: "ablationD-imprint", Doc: "aging/imprint baseline (§9.2)",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.ImprintBaseline(seed), nil
+			}),
+		},
+		&Experiment{
+			Name: "ablationE-history-theft", Doc: "TLB access-pattern theft",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.HistoryTheft(seed)
+			}),
+		},
+		&Experiment{
+			Name: "caselock", Doc: "§7.1.2 cache-locking comparison", Slow: true,
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.CaSELock(seed)
+			}),
+		},
+		&Experiment{
+			Name: "ablationF-warm-reboot", Doc: "BootJacker baseline vs TCG reset",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.WarmReboot(seed)
+			}),
+		},
+		&Experiment{
+			Name: "ablationG-context-switch", Doc: "scheduler-dependent register exposure",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.ContextSwitchLeak(seed)
+			}),
+		},
+		&Experiment{
+			Name: "ablationH-puf-clone", Doc: "PUF cloning via the extraction path", Slow: true,
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(ctx context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.PUFCloneCtx(ctx, seed)
+			}),
+		},
+		&Experiment{
+			Name: "mcu-extension", Doc: "microcontroller (SRAM-as-main-memory) extension",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.MCUAttack(seed)
+			}),
+		},
+	)
+}
+
+func boardSpec(name string) (soc.DeviceSpec, error) {
+	switch name {
+	case "pi4":
+		return soc.BCM2711(), nil
+	case "pi3":
+		return soc.BCM2837(), nil
+	default:
+		return soc.DeviceSpec{}, fmt.Errorf("registry: unknown board %q", name)
+	}
+}
+
+func floatListDefault(fs []float64) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = fmt.Sprintf("%g", f)
+	}
+	return strings.Join(parts, ",")
+}
+
+func offTimesDefaultMs() string {
+	offs := experiments.RetentionSweepOffTimes()
+	parts := make([]string, len(offs))
+	for i, off := range offs {
+		parts[i] = fmt.Sprintf("%g", float64(off)/float64(sim.Millisecond))
+	}
+	return strings.Join(parts, ",")
+}

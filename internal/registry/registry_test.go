@@ -1,0 +1,188 @@
+package registry
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// catalogNames is the exact catalog of the pre-registry cmd/experiments
+// main, in print order. The registry refactor must not rename, reorder,
+// add or drop anything.
+var catalogNames = []string{
+	"table1", "figure3", "table2", "table3", "figure4", "figure5",
+	"figure6", "figure7", "figure8", "table4", "section7.2", "section6.2",
+	"figure9", "figure10", "countermeasures", "ablationA-probe-sweep",
+	"ablationB-retention-sweep", "ablationC-dram-coldboot",
+	"ablationD-imprint", "ablationE-history-theft", "caselock",
+	"ablationF-warm-reboot", "ablationG-context-switch",
+	"ablationH-puf-clone", "mcu-extension",
+}
+
+// slowNames pins the slow flags of the pre-registry catalog.
+var slowNames = map[string]bool{
+	"table4": true, "countermeasures": true, "ablationA-probe-sweep": true,
+	"caselock": true, "ablationH-puf-clone": true,
+}
+
+func TestDefaultCatalogMatchesLegacyCLI(t *testing.T) {
+	reg := Default()
+	exps := reg.Experiments()
+	if len(exps) != len(catalogNames) {
+		t.Fatalf("catalog has %d experiments, want %d", len(exps), len(catalogNames))
+	}
+	for i, e := range exps {
+		if e.Name != catalogNames[i] {
+			t.Errorf("catalog[%d] = %q, want %q", i, e.Name, catalogNames[i])
+		}
+		if e.Slow != slowNames[e.Name] {
+			t.Errorf("%s: slow = %v, want %v", e.Name, e.Slow, slowNames[e.Name])
+		}
+		if len(e.ArtifactKinds) == 0 {
+			t.Errorf("%s: no artifact kinds", e.Name)
+		}
+	}
+	for _, name := range catalogNames {
+		if _, ok := reg.Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+	if _, ok := reg.Lookup("nonesuch"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+}
+
+func TestMatch(t *testing.T) {
+	reg := Default()
+	if got := len(reg.Match("")); got != len(catalogNames) {
+		t.Fatalf("Match(\"\") = %d experiments, want %d", got, len(catalogNames))
+	}
+	figs := reg.Match("figure")
+	want := []string{"figure3", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "figure10"}
+	if len(figs) != len(want) {
+		t.Fatalf("Match(figure) = %d, want %d", len(figs), len(want))
+	}
+	for i, e := range figs {
+		if e.Name != want[i] {
+			t.Errorf("Match(figure)[%d] = %q, want %q", i, e.Name, want[i])
+		}
+	}
+}
+
+// TestResolveCanonicalization: spellings that mean the same assignment
+// resolve to the same canonical string; explicit defaults equal omitted
+// ones — the property the campaign cache key depends on.
+func TestResolveCanonicalization(t *testing.T) {
+	reg := Default()
+	e, _ := reg.Lookup("ablationB-retention-sweep")
+
+	_, base, err := e.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range []map[string]string{
+		{},
+		{"temps": "25,0,-40,-80,-110,-150"},
+		{"temps": " 25.0 , 0, -40,-80,-110,-150 "},
+		{"offtimes-ms": "1,20,100,1000"},
+		{"temps": "25,0,-40,-80,-110,-150", "offtimes-ms": "1.0,20,100,1e3"},
+	} {
+		_, canon, err := e.Resolve(raw)
+		if err != nil {
+			t.Fatalf("Resolve(%v): %v", raw, err)
+		}
+		if canon != base {
+			t.Errorf("Resolve(%v) canonical = %q, want %q", raw, canon, base)
+		}
+	}
+
+	_, other, err := e.Resolve(map[string]string{"temps": "25"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Error("distinct temps resolved to the same canonical string")
+	}
+}
+
+func TestResolveRejectsBadParams(t *testing.T) {
+	reg := Default()
+	e, _ := reg.Lookup("ablationB-retention-sweep")
+	for _, raw := range []map[string]string{
+		{"nope": "1"},
+		{"temps": "cold"},
+		{"temps": ""},
+	} {
+		if _, _, err := e.Resolve(raw); err == nil {
+			t.Errorf("Resolve(%v) succeeded, want error", raw)
+		}
+	}
+
+	s72, _ := reg.Lookup("section7.2")
+	if _, _, err := s72.Resolve(map[string]string{"boards": "pi5"}); err == nil {
+		t.Error("Resolve(boards=pi5) succeeded, want enum error")
+	}
+	if resolved, _, err := s72.Resolve(map[string]string{"boards": " pi3 , pi4 "}); err != nil {
+		t.Errorf("Resolve(boards=pi3,pi4): %v", err)
+	} else if resolved["boards"] != "pi3,pi4" {
+		t.Errorf("boards canonical = %q, want %q", resolved["boards"], "pi3,pi4")
+	}
+}
+
+// TestRunFastExperiments executes the instant, simulation-free items
+// end-to-end through the registry Run signature.
+func TestRunFastExperiments(t *testing.T) {
+	reg := Default()
+	for _, name := range []string{"table2", "table3", "figure6"} {
+		e, _ := reg.Lookup(name)
+		resolved, _, err := e.Resolve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(context.Background(), Request{Seed: 0x5EED, Params: resolved})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Text == "" {
+			t.Errorf("%s: empty text", name)
+		}
+	}
+}
+
+// TestRetentionSweepParamOverride runs the one seeded experiment whose
+// grid is overridable with a tiny grid, proving the params actually reach
+// the physics.
+func TestRetentionSweepParamOverride(t *testing.T) {
+	reg := Default()
+	e, _ := reg.Lookup("ablationB-retention-sweep")
+	resolved, _, err := e.Resolve(map[string]string{"temps": "25", "offtimes-ms": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), Request{Seed: 1, Params: resolved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "25°") {
+		t.Errorf("override output missing 25° row:\n%s", res.Text)
+	}
+	if strings.Contains(res.Text, "-150") {
+		t.Errorf("override output still contains default -150° row:\n%s", res.Text)
+	}
+}
+
+// TestRunHonoursCancelledContext: a grid experiment with a dead context
+// returns promptly with ctx.Err.
+func TestRunHonoursCancelledContext(t *testing.T) {
+	reg := Default()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, _ := reg.Lookup("ablationB-retention-sweep")
+	resolved, _, err := e.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(ctx, Request{Seed: 1, Params: resolved}); err == nil {
+		t.Fatal("Run with cancelled context succeeded")
+	}
+}

@@ -24,6 +24,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -44,12 +45,32 @@ func SeedFor(seed uint64, label string, i int) uint64 {
 // by completion time) aborts the whole map. A panic in any trial is
 // propagated to the caller.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	return MapWorkers(n, runtime.GOMAXPROCS(0), fn)
+	return MapCtx(context.Background(), n, runtime.GOMAXPROCS(0), fn)
 }
 
 // MapWorkers is Map with an explicit worker count (useful for tests that
 // pin the fan-out). workers ≤ 1 runs serially on the calling goroutine.
 func MapWorkers[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, workers, fn)
+}
+
+// MapCtx is MapWorkers with cooperative cancellation: once ctx is
+// cancelled no new trial is dispatched, in-flight trials finish, and the
+// call returns (nil, ctx.Err()). Cancellation takes precedence over any
+// trial error, because which trials had run by the time the context fired
+// is scheduling-dependent — reporting ctx.Err() keeps the cancelled
+// outcome deterministic. On the success path MapCtx is byte-identical to
+// the pre-context Map/MapWorkers: index-ordered results, lowest-index
+// error selection, panic propagation. A Background (or otherwise
+// non-cancellable) context adds no per-trial overhead: the cancellation
+// probe is skipped entirely when ctx.Done() returns nil.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	done := ctx.Done() // nil for Background/TODO: probes compile out below
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if n <= 0 {
 		return nil, nil
 	}
@@ -59,6 +80,13 @@ func MapWorkers[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, fmt.Errorf("runner: trial %d: %w", i, err)
@@ -87,6 +115,13 @@ func MapWorkers[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				}
 			}()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return // stop dispatching; MapCtx reports ctx.Err()
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -119,6 +154,11 @@ func MapWorkers[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	for _, p := range panics {
 		if p != nil {
 			panic(p)
+		}
+	}
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
 	if f := firstIdx.Load(); f >= 0 {

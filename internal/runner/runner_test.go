@@ -1,8 +1,10 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -125,6 +127,99 @@ func TestMapRunsEveryIndexOnce(t *testing.T) {
 		if c := counts[i].Load(); c != 1 {
 			t.Fatalf("index %d ran %d times", i, c)
 		}
+	}
+}
+
+// TestMapCtxMatchesMap: with a background context, MapCtx is the same
+// function as MapWorkers — same results, same ordering, any worker count.
+func TestMapCtxMatchesMap(t *testing.T) {
+	const n = 123
+	fn := func(i int) (uint64, error) { return SeedFor(7, "ctx-vs-plain", i), nil }
+	want, err := MapWorkers(n, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got, err := MapCtx(context.Background(), n, workers, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %#x, want %#x", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapCtxAlreadyCancelled: a context that is dead on arrival runs
+// nothing and returns ctx.Err().
+func TestMapCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	for _, workers := range []int{1, 8} {
+		out, err := MapCtx(ctx, 50, workers, func(i int) (int, error) {
+			calls.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: out = %v, want nil", workers, out)
+		}
+	}
+	if c := calls.Load(); c != 0 {
+		t.Fatalf("trial fn ran %d times on a dead context", c)
+	}
+}
+
+// TestMapCtxStopsDispatching: cancelling mid-run stops new trials from
+// being dispatched, lets the in-flight ones finish, and reports ctx.Err()
+// — even though some trials completed successfully.
+func TestMapCtxStopsDispatching(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var after atomic.Int32
+		release := make(chan struct{})
+		var once sync.Once
+		_, err := MapCtx(ctx, 1000, workers, func(i int) (int, error) {
+			once.Do(func() {
+				cancel()
+				close(release) // no trial past this point may start
+			})
+			<-release
+			after.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Only trials already dispatched when cancel fired may have run:
+		// at most one per worker.
+		if got := int(after.Load()); got > workers {
+			t.Fatalf("workers=%d: %d trials ran after cancellation", workers, got)
+		}
+	}
+}
+
+// TestMapCtxCancellationBeatsTrialError: when the context dies during the
+// run, ctx.Err() is reported even if a trial also failed — the set of
+// completed trials under cancellation is scheduling-dependent, so the
+// trial error would be nondeterministic.
+func TestMapCtxCancellationBeatsTrialError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	_, err := MapCtx(ctx, 100, 4, func(i int) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -26,6 +26,9 @@ go test -run '^$' -bench 'BenchmarkCPUStep$' -benchtime 2s ./internal/soc/ | tee
 go test -run '^$' -bench 'BenchmarkCacheAccessHit$|BenchmarkCacheAccessMiss$' -benchtime 2s ./internal/cache/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkOSWorkloadIPS$' -benchtime 2s ./internal/kernel/ | tee -a "$tmp"
 
+echo "==> campaign service throughput (2s)"
+go test -run '^$' -bench 'BenchmarkCampaignSubmitCached$' -benchtime 2s ./internal/api/ | tee -a "$tmp"
+
 echo "==> experiment benchmarks (-benchtime ${BENCHTIME})"
 go test -run '^$' -bench 'BenchmarkFigure7ColdBoot$|BenchmarkFigure8OSScenario$|BenchmarkTable4ArraySweep$' \
 	-benchtime "$BENCHTIME" ./internal/experiments/ | tee -a "$tmp"

@@ -15,6 +15,9 @@ go build ./...
 echo "==> go test -race -short ./..."
 go test -race -short ./...
 
+echo "==> campaign service: full -race pass (queue, cache single-flight, cancellation)"
+go test -race -count=1 ./internal/campaign/ ./internal/runner/ ./internal/api/
+
 echo "==> benchmark smoke (1 iteration)"
 go test -run '^$' -bench 'ResolveDecay|PowerUpAll|FractionalHD|FractionOnes' -benchtime 1x ./internal/sram/ ./internal/analysis/
 go test -run '^$' -bench 'CPUStep|CacheAccessHit|CacheAccessMiss|OSWorkloadIPS' -benchtime 1x ./internal/soc/ ./internal/cache/ ./internal/kernel/
