@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench check
+.PHONY: all build vet lint test race bench-smoke bench check
 
 all: check
 
@@ -13,6 +13,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# voltvet is the repo's own stdlib-only analyzer suite (cmd/voltvet):
+# determinism boundary, map-order hazards, hot-path allocation hygiene,
+# service-layer lock discipline, dropped errors. Exits non-zero on any
+# finding not grandfathered in lint.baseline.
+lint:
+	$(GO) run ./cmd/voltvet ./...
 
 test:
 	$(GO) test ./...
@@ -34,4 +41,4 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-check: vet build race bench-smoke
+check: vet lint build race bench-smoke

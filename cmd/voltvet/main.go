@@ -1,0 +1,158 @@
+// Command voltvet machine-checks the repo's determinism, purity, and
+// hot-path invariants. It is the static half of the reproducibility
+// contract: the golden SHA-256 pins prove the tree is deterministic for
+// the seeds the tests sample, voltvet proves nobody wired a source of
+// nondeterminism (or an allocation, or a lock bug) into the code in the
+// first place.
+//
+// Usage:
+//
+//	voltvet [flags] ./...
+//
+// Flags:
+//
+//	-C dir             analyze the module containing dir (default ".")
+//	-baseline file     baseline path (default <module root>/lint.baseline)
+//	-write-baseline    rewrite the baseline to grandfather current findings
+//	-list              print the diagnostic catalog and exit
+//	-v                 also print baselined findings
+//
+// Exit status is 1 when any non-baselined diagnostic is found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// outf/outln write to one of run's injected streams. A broken stream
+// has nowhere to report, so the write error is explicitly discarded.
+func outf(w io.Writer, format string, a ...any) { _, _ = fmt.Fprintf(w, format, a...) }
+
+func outln(w io.Writer, a ...any) { _, _ = fmt.Fprintln(w, a...) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("voltvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "analyze the module containing this directory")
+	baselinePath := fs.String("baseline", "", "baseline file (default <module root>/lint.baseline)")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the baseline to grandfather current findings")
+	list := fs.Bool("list", false, "print the diagnostic catalog and exit")
+	verbose := fs.Bool("v", false, "also print baselined findings")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		printCatalog(stdout)
+		return 0
+	}
+
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		outln(stderr, "voltvet:", err)
+		return 2
+	}
+	cfg := lint.DefaultConfig()
+	cfg.ModulePath = mod.Path
+
+	// Package patterns ("./...", "./internal/...") filter which packages
+	// are reported; the whole module is always loaded, since
+	// type-checking needs the dependency closure anyway.
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags := lint.Run(mod, cfg, lint.All())
+	diags = filterByPatterns(diags, mod.Path, patterns)
+
+	if *baselinePath == "" {
+		*baselinePath = filepath.Join(mod.Root, "lint.baseline")
+	}
+	if *writeBaseline {
+		if err := os.WriteFile(*baselinePath, []byte(lint.FormatBaseline(diags)), 0o644); err != nil {
+			outln(stderr, "voltvet:", err)
+			return 2
+		}
+		outf(stdout, "voltvet: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return 0
+	}
+	base, err := lint.ParseBaseline(*baselinePath)
+	if err != nil {
+		outln(stderr, "voltvet:", err)
+		return 2
+	}
+	fresh, baselined := base.Filter(diags)
+	if *verbose {
+		for _, d := range baselined {
+			outf(stdout, "%s [baselined]\n", d)
+		}
+	}
+	for _, d := range fresh {
+		outln(stdout, d)
+	}
+	if len(fresh) > 0 {
+		outf(stderr, "voltvet: %d finding(s)", len(fresh))
+		if len(baselined) > 0 {
+			outf(stderr, " (+%d baselined)", len(baselined))
+		}
+		outln(stderr)
+		return 1
+	}
+	return 0
+}
+
+// filterByPatterns keeps diagnostics whose package matches any
+// ./...-style pattern, interpreted relative to the module root.
+func filterByPatterns(diags []lint.Diagnostic, modpath string, patterns []string) []lint.Diagnostic {
+	match := func(pkg string) bool {
+		rel := strings.TrimPrefix(strings.TrimPrefix(pkg, modpath), "/")
+		for _, p := range patterns {
+			p = strings.TrimPrefix(p, "./")
+			if p == "..." || p == "" {
+				return true
+			}
+			if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+				if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+					return true
+				}
+				continue
+			}
+			if rel == strings.TrimSuffix(p, "/") {
+				return true
+			}
+		}
+		return false
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if match(d.Package) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func printCatalog(w io.Writer) {
+	outln(w, "voltvet diagnostic catalog:")
+	for _, a := range lint.All() {
+		outf(w, "  %-12s %s\n", a.Name, a.Doc)
+		for _, id := range a.IDs {
+			outf(w, "      %s\n", id)
+		}
+	}
+	outln(w, "  loader       packages that fail to type-check")
+	outln(w, "      VV-LOAD001")
+	outln(w, "  ignore       malformed //voltvet:ignore directives")
+	outln(w, "      VV-IGN001")
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempModule lays out a minimal module whose internal/sram package
+// — deterministic under the default configuration — calls time.Now.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.21\n",
+		"internal/sram/sram.go": `// Package sram is a fixture deterministic package.
+package sram
+
+import "time"
+
+// Stamp smuggles wall-clock time into the deterministic core.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestSeededViolationExitsNonZero is the end-to-end acceptance check:
+// voltvet pointed at a module with a determinism violation seeded into
+// a deterministic package exits 1 and names the diagnostic.
+func TestSeededViolationExitsNonZero(t *testing.T) {
+	dir := writeTempModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "VV-DET001") {
+		t.Errorf("stdout missing VV-DET001:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 finding(s)") {
+		t.Errorf("stderr missing finding count:\n%s", stderr.String())
+	}
+}
+
+// TestWriteBaselineGrandfathers exercises the grandfather workflow:
+// -write-baseline records the seeded violation, after which the same
+// invocation exits 0 — and appears again under -v as baselined.
+func TestWriteBaselineGrandfathers(t *testing.T) {
+	dir := writeTempModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-write-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "lint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "VV-DET001 tmpmod/internal/sram sram.go 1") {
+		t.Errorf("baseline missing expected entry:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-v", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-v run exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout.String(), "[baselined]") {
+		t.Errorf("-v output missing baselined finding:\n%s", stdout.String())
+	}
+}
+
+// TestPatternFilter confirms package patterns restrict reporting: the
+// violation lives in internal/sram, so ./internal/other/... is clean.
+func TestPatternFilter(t *testing.T) {
+	dir := writeTempModule(t)
+	other := filepath.Join(dir, "internal", "other")
+	if err := os.MkdirAll(other, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "// Package other is empty.\npackage other\n"
+	if err := os.WriteFile(filepath.Join(other, "other.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./internal/other/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("filtered run exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+	if code := run([]string{"-C", dir, "./internal/sram"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("targeted run exit = %d, want 1", code)
+	}
+}
+
+func TestListCatalog(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, id := range []string{"VV-DET001", "VV-MAP001", "VV-HOT001", "VV-LCK001", "VV-ERR001", "VV-LOAD001", "VV-IGN001"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}

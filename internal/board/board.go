@@ -12,6 +12,7 @@ package board
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -125,12 +126,18 @@ func (b *Board) AttachProbe(padName string, supply *power.BenchSupply) error {
 // PowerNetwork returns the Figure 4 view of the board's power structure.
 func (b *Board) PowerNetwork() *power.Network {
 	pads := make([]power.Pad, 0, len(b.Pads))
-	// Deterministic order: documented pad first.
+	// Deterministic order: documented pad first, then the rest sorted by
+	// silkscreen name (map iteration order would vary run to run).
 	pads = append(pads, b.TargetPad())
-	for name, p := range b.Pads {
+	names := make([]string, 0, len(b.Pads))
+	for name := range b.Pads {
 		if name != b.Spec().TestPad {
-			pads = append(pads, p)
+			names = append(names, name)
 		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pads = append(pads, b.Pads[name])
 	}
 	return &power.Network{PMIC: b.PMIC, Pads: pads}
 }

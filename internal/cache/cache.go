@@ -242,6 +242,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the event counters.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+//voltvet:hotpath
 func (c *Cache) index(addr uint64) (tag uint64, set int, off int) {
 	off = int(addr) & (c.cfg.LineBytes - 1)
 	set = int(addr/uint64(c.cfg.LineBytes)) & (c.sets - 1)
@@ -258,6 +259,8 @@ func (c *Cache) setTagEntry(way, set int, v uint64) {
 }
 
 // lookup returns the hitting way for addr, or -1.
+//
+//voltvet:hotpath
 func (c *Cache) lookup(tag uint64, set int) int {
 	for w := 0; w < c.cfg.Ways; w++ {
 		e := c.tagEntry(w, set)
@@ -298,6 +301,8 @@ func (c *Cache) victim(set int) (int, error) {
 }
 
 // touch records a use of (way, set) for LRU.
+//
+//voltvet:hotpath
 func (c *Cache) touch(way, set int) {
 	c.useTick++
 	c.lastUse[way][set] = c.useTick
@@ -308,6 +313,8 @@ func (c *Cache) touch(way, set int) {
 // the RAMs. The SoC's predecoded i-stream calls it on a predecode hit so
 // replacement order and event counters stay bit-identical to the full
 // fetch path it short-circuits.
+//
+//voltvet:hotpath
 func (c *Cache) TouchFetchHit(way, set int) {
 	c.stats.Hits++
 	c.touch(way, set)
@@ -366,6 +373,8 @@ func (c *Cache) fill(tag uint64, set int, secure bool) (int, error) {
 // Access performs a read or write of size bytes (1–8, not crossing a
 // line) at addr. secure is the TrustZone state of the requestor, recorded
 // in the NS bit on allocation. Returns the loaded value for reads.
+//
+//voltvet:hotpath
 func (c *Cache) Access(addr uint64, size int, write bool, wdata uint64, secure bool) (uint64, error) {
 	tag, set, off := c.index(addr)
 	if off+size > c.cfg.LineBytes {
@@ -404,6 +413,8 @@ func (c *Cache) Access(addr uint64, size int, write bool, wdata uint64, secure b
 // the hardware decodes stored words on read and re-encodes on write, so
 // software sees plain data while the RAM holds the scrambled image.
 // Accesses operate on the 4-byte codeword(s) covering the request.
+//
+//voltvet:hotpath
 func (c *Cache) accessECC(w, set, base, size int, write bool, wdata uint64) (uint64, error) {
 	wordBase := base &^ 3
 	span := (base+size+3)&^3 - wordBase // 4, 8 or 12 bytes: ≤3 codewords
@@ -457,6 +468,8 @@ func eccDecodeLine(buf []byte) {
 
 // bypass routes an access around the disabled cache: read-modify-write of
 // the backing line through the reusable scratch buffer.
+//
+//voltvet:hotpath
 func (c *Cache) bypass(addr uint64, size int, write bool, wdata uint64) (uint64, error) {
 	lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
 	off := int(addr - lineAddr)

@@ -229,6 +229,8 @@ func (c *CPU) setFlagsSub(a, b uint64) uint64 {
 // Step fetches, decodes and executes one instruction. It returns an error
 // on memory faults or undefined instructions; the core keeps its state so
 // callers can inspect the failure.
+//
+//voltvet:hotpath
 func (c *CPU) Step() error {
 	if c.Halted {
 		return nil

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline grandfathers findings so the gate can be strict from day
+// one. Entries are keyed by (ID, package import path, file base name)
+// with an occurrence count — deliberately line-number free, so
+// unrelated edits above a grandfathered finding don't churn the file.
+// When the runner filters, up to count findings with a matching key are
+// dropped; the rest surface as new.
+type Baseline struct {
+	counts map[string]int
+}
+
+func baselineKey(id, pkg, file string) string {
+	return id + " " + pkg + " " + filepath.Base(file)
+}
+
+// ParseBaseline reads a baseline file. Blank lines and #-comments are
+// skipped; every other line is "ID import/path file.go count".
+// A missing file is an empty baseline.
+func ParseBaseline(path string) (*Baseline, error) {
+	b := &Baseline{counts: map[string]int{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("lint: %s:%d: want \"ID import/path file.go count\", got %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("lint: %s:%d: bad count %q", path, i+1, fields[3])
+		}
+		b.counts[baselineKey(fields[0], fields[1], fields[2])] += n
+	}
+	return b, nil
+}
+
+// Filter splits diagnostics into new findings and baselined ones.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh, baselined []Diagnostic) {
+	remaining := map[string]int{}
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		k := baselineKey(d.ID, d.Package, d.Pos.Filename)
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined = append(baselined, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, baselined
+}
+
+// FormatBaseline renders diagnostics as baseline file content,
+// deterministically sorted and coalesced by key.
+func FormatBaseline(diags []Diagnostic) string {
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[baselineKey(d.ID, d.Package, d.Pos.Filename)]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# voltvet baseline: grandfathered findings, one \"ID import/path file.go count\" per line.\n")
+	sb.WriteString("# Regenerate with: go run ./cmd/voltvet -write-baseline ./...\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s %d\n", k, counts[k])
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diag(id, pkg, file string, line int) Diagnostic {
+	return Diagnostic{
+		ID:      id,
+		Pos:     token.Position{Filename: file, Line: line},
+		Package: pkg,
+		Message: "test diagnostic",
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		diag("VV-ERR001", "repro/internal/foo", "/abs/path/foo.go", 10),
+		diag("VV-ERR001", "repro/internal/foo", "/abs/path/foo.go", 20),
+		diag("VV-MAP001", "repro/internal/bar", "/abs/path/bar.go", 7),
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte(FormatBaseline(diags)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ParseBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, baselined := base.Filter(diags)
+	if len(fresh) != 0 {
+		t.Errorf("round-tripped baseline left fresh findings: %v", fresh)
+	}
+	if len(baselined) != len(diags) {
+		t.Errorf("baselined = %d, want %d", len(baselined), len(diags))
+	}
+}
+
+// TestBaselineLineNumberFree verifies the core design property: entries
+// key on (ID, package, file), not line numbers, so unrelated edits that
+// shift a grandfathered finding do not invalidate the baseline.
+func TestBaselineLineNumberFree(t *testing.T) {
+	old := []Diagnostic{diag("VV-ERR001", "repro/internal/foo", "/abs/path/foo.go", 10)}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte(FormatBaseline(old)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ParseBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := []Diagnostic{diag("VV-ERR001", "repro/internal/foo", "/abs/path/foo.go", 55)}
+	fresh, _ := base.Filter(moved)
+	if len(fresh) != 0 {
+		t.Errorf("line shift invalidated baseline entry: %v", fresh)
+	}
+}
+
+// TestBaselineCountCap verifies that a baseline entry absorbs only as
+// many findings as it recorded: adding a second violation of the same
+// kind to the same file is fresh, not grandfathered.
+func TestBaselineCountCap(t *testing.T) {
+	one := []Diagnostic{diag("VV-ERR001", "repro/internal/foo", "/abs/path/foo.go", 10)}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte(FormatBaseline(one)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ParseBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := []Diagnostic{
+		diag("VV-ERR001", "repro/internal/foo", "/abs/path/foo.go", 10),
+		diag("VV-ERR001", "repro/internal/foo", "/abs/path/foo.go", 30),
+	}
+	fresh, baselined := base.Filter(two)
+	if len(baselined) != 1 || len(fresh) != 1 {
+		t.Errorf("count cap: fresh=%d baselined=%d, want 1/1", len(fresh), len(baselined))
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	base, err := ParseBaseline(filepath.Join(t.TempDir(), "does-not-exist"))
+	if err != nil {
+		t.Fatalf("missing baseline must parse as empty, got error: %v", err)
+	}
+	fresh, baselined := base.Filter([]Diagnostic{diag("VV-ERR001", "p", "f.go", 1)})
+	if len(fresh) != 1 || len(baselined) != 0 {
+		t.Errorf("empty baseline: fresh=%d baselined=%d, want 1/0", len(fresh), len(baselined))
+	}
+}
+
+func TestBaselineRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte("# comment ok\nnot a valid entry line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseBaseline(path); err == nil {
+		t.Error("malformed baseline line parsed without error")
+	}
+}
+
+// TestRepoBaselineIsEmpty pins the acceptance criterion that the final
+// tree carries no grandfathered debt: lint.baseline exists as the
+// documented attachment point but contains zero entries.
+func TestRepoBaselineIsEmpty(t *testing.T) {
+	root, _, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "lint.baseline")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("lint.baseline must exist at the module root: %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t.Errorf("lint.baseline carries a grandfathered finding: %q — fix the violation instead", line)
+	}
+}

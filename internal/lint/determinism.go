@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// determinismAnalyzer enforces the determinism boundary: packages whose
+// outputs back golden SHA-256 pins and the content-addressed campaign
+// cache may not observe wall-clock time, ambient randomness, or the
+// environment, and may not reach up into the service layer. One stray
+// time.Now or math/rand draw poisons every cached result.
+func determinismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "deterministic packages may not read time, randomness, env vars, or import the service layer",
+		IDs:  []string{"VV-DET001", "VV-DET002", "VV-DET003", "VV-DET004", "VV-DET005"},
+		Applies: func(cfg *Config, pkg *Package) bool {
+			return cfg.IsDeterministic(pkg.ImportPath)
+		},
+		Run: runDeterminism,
+	}
+}
+
+// bannedCalls maps "pkgpath.Func" of a nondeterminism source to its
+// diagnostic ID.
+var bannedCalls = map[string]string{
+	"time.Now":       "VV-DET001",
+	"time.Since":     "VV-DET001",
+	"time.Until":     "VV-DET001",
+	"os.Getenv":      "VV-DET004",
+	"os.LookupEnv":   "VV-DET004",
+	"os.Environ":     "VV-DET004",
+	"os.ExpandEnv":   "VV-DET004",
+	"syscall.Getenv": "VV-DET004",
+}
+
+// bannedImports maps an import path to its diagnostic ID. Service-layer
+// imports are handled separately because the set is config-driven.
+var bannedImports = map[string]string{
+	"math/rand":    "VV-DET002",
+	"math/rand/v2": "VV-DET002",
+	"crypto/rand":  "VV-DET003",
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, im := range f.Imports {
+			path, err := strconv.Unquote(im.Path.Value)
+			if err != nil {
+				continue
+			}
+			if id, ok := bannedImports[path]; ok {
+				pass.Reportf("determinism", id, im.Pos(),
+					"deterministic package %s imports %s; seed an xrand stream through the experiment env instead",
+					pass.Pkg.ImportPath, path)
+			}
+			if pass.Cfg.IsService(path) {
+				pass.Reportf("determinism", "VV-DET005", im.Pos(),
+					"deterministic package %s imports service-layer package %s; the dependency must point the other way",
+					pass.Pkg.ImportPath, path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			key := obj.Pkg().Path() + "." + obj.Name()
+			if id, ok := bannedCalls[key]; ok {
+				what := "wall-clock time"
+				if id == "VV-DET004" {
+					what = "the process environment"
+				}
+				pass.Reportf("determinism", id, sel.Pos(),
+					"deterministic package %s reads %s via %s; results must depend only on (experiment, seed, params)",
+					pass.Pkg.ImportPath, what, key)
+			}
+			return true
+		})
+	}
+}

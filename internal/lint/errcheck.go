@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errcheckAnalyzer flags expression statements that drop an error
+// return (VV-ERR001). A silently swallowed error in the experiment or
+// service code turns a failed run into a plausible-looking wrong
+// result; explicit `_ =` assignment remains available for the rare
+// deliberate discard, and keeps the discard grep-able.
+//
+// Well-known never-fails writers are exempt: fmt prints to stdout,
+// bytes.Buffer, strings.Builder, and hash.Hash writes are documented to
+// never return a non-nil error.
+func errcheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errcheck",
+		Doc:  "dropped error returns outside tests",
+		IDs:  []string{"VV-ERR001"},
+		Run:  runErrcheck,
+	}
+}
+
+func runErrcheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[call]
+			if !ok || tv.Type == nil || !returnsError(tv.Type) {
+				return true
+			}
+			if errDiscardAllowed(info, call) {
+				return true
+			}
+			name := "call"
+			if fn := calleeFunc(info, call); fn != nil {
+				name = fn.Name()
+			}
+			pass.Reportf("errcheck", "VV-ERR001", call.Pos(),
+				"result of %s includes an error that is silently dropped; handle it or discard explicitly with _ =", name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether a call result type includes an error.
+func returnsError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// neverFailWriters are static types whose Write/WriteString methods are
+// documented to always return a nil error, so fmt.Fprint* into them (or
+// direct method calls on them) cannot drop anything real.
+var neverFailWriters = map[string]bool{
+	"*bytes.Buffer":    true,
+	"*strings.Builder": true,
+	"hash.Hash":        true,
+	"hash.Hash32":      true,
+	"hash.Hash64":      true,
+}
+
+// errDiscardAllowed exempts callees whose errors are documented to
+// always be nil, plus prints to the process's own stdio streams (the
+// CLI convention everywhere: if stderr is gone there is nobody to tell).
+func errDiscardAllowed(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && neverFailWriterExpr(info, call.Args[0])
+		}
+		return false
+	}
+	// Method calls: exempt when either the method's declared receiver or
+	// the receiver expression's static type is a never-fail writer. The
+	// expression check matters for hash.Hash, whose Write is formally
+	// io.Writer's (embedded), which must NOT be exempt in general.
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil && neverFailWriters[sig.Recv().Type().String()] {
+		return true
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return neverFailWriterExpr(info, sel.X)
+	}
+	return false
+}
+
+// neverFailWriterExpr reports whether the expression's static type is a
+// never-fail writer or it denotes os.Stdout/os.Stderr.
+func neverFailWriterExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return neverFailWriters[tv.Type.String()]
+}

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathAnalyzer enforces the zero-allocation contract on functions
+// tagged //voltvet:hotpath (the PR 2 predecode/step/cache-access path).
+// The runtime test TestStepSteadyStateZeroAlloc proves the contract
+// holds today for one instruction mix; this analyzer names the
+// constructs that would break it for any mix: fmt calls, string
+// concatenation, capturing closures, and concrete-to-interface
+// conversions, each of which heap-allocates on the live path.
+//
+// Error and panic paths are exempt: an expression consumed directly by
+// a return statement or a panic call only executes when the hot loop is
+// already leaving the fast path, which is exactly when allocation is
+// acceptable. (The dynamic test agrees — it measures the steady state.)
+func hotpathAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath",
+		Doc:  "allocation hygiene in functions marked //voltvet:hotpath",
+		IDs:  []string{"VV-HOT001", "VV-HOT002", "VV-HOT003", "VV-HOT004"},
+		Run:  runHotpath,
+	}
+}
+
+// HotpathFuncs returns the fully qualified names (types.Func.FullName
+// form, e.g. "repro/internal/isa.(*CPU).Step") of every function in the
+// module tagged with the hotpath marker. Exported so the agreement test
+// can pin the static annotation set against the functions the dynamic
+// zero-alloc test drives.
+func HotpathFuncs(mod *Module, cfg *Config) map[string]token.Position {
+	out := map[string]token.Position{}
+	for _, pkg := range mod.Sorted {
+		for _, f := range pkg.Files {
+			for _, fd := range funcBodies(f) {
+				if !hasMarker(fd, cfg.marker()) {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out[fn.FullName()] = mod.Fset.Position(fd.Pos())
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *Config) marker() string {
+	if c.HotpathMarker != "" {
+		return c.HotpathMarker
+	}
+	return "//voltvet:hotpath"
+}
+
+func hasMarker(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotpath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, fd := range funcBodies(f) {
+			if !hasMarker(fd, pass.Cfg.marker()) {
+				continue
+			}
+			hp := &hotpathWalker{pass: pass, info: pass.Pkg.Info, fn: fd}
+			hp.node(fd.Body, false)
+		}
+	}
+}
+
+type hotpathWalker struct {
+	pass *Pass
+	info *types.Info
+	fn   *ast.FuncDecl
+}
+
+// node walks n; cold marks expressions that only execute while leaving
+// the fast path (operands of return statements and panic calls).
+func (h *hotpathWalker) node(n ast.Node, cold bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			h.node(r, true)
+		}
+		return
+	case *ast.CallExpr:
+		if isBuiltinPanic(h.info, n) {
+			for _, a := range n.Args {
+				h.node(a, true)
+			}
+			return
+		}
+		if !cold {
+			h.checkCall(n)
+		}
+		h.node(n.Fun, cold)
+		for _, a := range n.Args {
+			h.node(a, cold)
+		}
+		return
+	case *ast.BinaryExpr:
+		if !cold && n.Op == token.ADD {
+			if tv, ok := h.info.Types[n]; ok && tv.Value == nil && isStringType(tv.Type) {
+				h.pass.Reportf("hotpath", "VV-HOT002", n.OpPos,
+					"string concatenation allocates on the hot path in %s; build into a reusable buffer instead", h.fn.Name.Name)
+			}
+		}
+	case *ast.FuncLit:
+		if !cold {
+			if cap := h.firstCapture(n); cap != "" {
+				h.pass.Reportf("hotpath", "VV-HOT003", n.Pos(),
+					"closure capturing %q allocates on the hot path in %s; hoist the closure or pass state explicitly", cap, h.fn.Name.Name)
+			}
+		}
+		// Walk the body with a fresh cold state: code inside the literal
+		// runs whenever the closure runs, which we conservatively treat
+		// as hot iff the literal itself was created hot.
+		h.node(n.Body, cold)
+		return
+	}
+	// Generic descent for everything not handled above.
+	children(n, func(c ast.Node) { h.node(c, cold) })
+}
+
+// checkCall flags fmt calls (VV-HOT001) and concrete-to-interface
+// argument conversions (VV-HOT004) on the live path.
+func (h *hotpathWalker) checkCall(call *ast.CallExpr) {
+	// Explicit conversion T(x) with T an interface type.
+	if tv, ok := h.info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := h.info.Types[call.Args[0]]; ok && atv.Type != nil &&
+				!types.IsInterface(atv.Type) && !isNilType(atv.Type) {
+				h.pass.Reportf("hotpath", "VV-HOT004", call.Pos(),
+					"conversion of %s to interface %s allocates on the hot path in %s",
+					atv.Type, tv.Type, h.fn.Name.Name)
+			}
+		}
+		return
+	}
+	callee := calleeFunc(h.info, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		h.pass.Reportf("hotpath", "VV-HOT001", call.Pos(),
+			"fmt.%s allocates on the hot path in %s; it is only exempt inside panic(...) or a return statement", callee.Name(), h.fn.Name.Name)
+		return // don't double-report its variadic interface args
+	}
+	sig := callSignature(h.info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := h.info.Types[arg]
+		if !ok || atv.Type == nil || types.IsInterface(atv.Type) || isNilType(atv.Type) {
+			continue
+		}
+		if atv.Value != nil {
+			continue // constants box at compile time into read-only data
+		}
+		h.pass.Reportf("hotpath", "VV-HOT004", arg.Pos(),
+			"passing concrete %s as interface %s allocates on the hot path in %s",
+			atv.Type, pt, h.fn.Name.Name)
+	}
+}
+
+// firstCapture returns the name of one variable the literal captures
+// from the enclosing function, or "" when it captures nothing.
+func (h *hotpathWalker) firstCapture(lit *ast.FuncLit) string {
+	capture := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if capture != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := h.info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal. Package-level vars don't count.
+		if obj.Pos() >= h.fn.Pos() && obj.Pos() < h.fn.End() &&
+			(obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			capture = obj.Name()
+		}
+		return true
+	})
+	return capture
+}
+
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isNilType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// calleeFunc resolves the called function when it is a direct selector
+// or identifier reference; nil for indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// callSignature returns the signature of the call's callee, nil for
+// builtins and type conversions.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// children invokes fn for each direct child node of n. ast.Inspect
+// cannot express "visit children only", so this visits n, lets fn
+// recurse for every child, and cuts Inspect's own descent short.
+func children(n ast.Node, fn func(ast.Node)) {
+	if n == nil {
+		return
+	}
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true // n itself: descend one level
+		}
+		fn(c)
+		return false // fn recurses; stop Inspect here
+	})
+}

@@ -1,0 +1,62 @@
+package lint
+
+import "strings"
+
+const ignorePrefix = "//voltvet:ignore"
+
+// ignoreKey identifies a (file, line) an ignore directive covers.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// applyIgnores drops diagnostics silenced by //voltvet:ignore
+// directives. A directive covers findings with the named ID on its own
+// line (trailing comment) and on the line directly below it (comment
+// above the flagged statement). A directive without both an ID and a
+// non-empty reason suppresses nothing and is itself reported as
+// VV-IGN001, so silencing stays auditable.
+func applyIgnores(mod *Module, diags []Diagnostic) []Diagnostic {
+	ignored := map[ignoreKey]map[string]bool{}
+	var malformed []Diagnostic
+	for _, pkg := range mod.Sorted {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 || !strings.HasPrefix(fields[0], "VV-") {
+						malformed = append(malformed, Diagnostic{
+							ID:       "VV-IGN001",
+							Analyzer: "ignore",
+							Pos:      pos,
+							Package:  pkg.ImportPath,
+							Message:  "malformed voltvet:ignore directive: want \"//voltvet:ignore VV-XXXNNN reason...\"",
+						})
+						continue
+					}
+					id := fields[0]
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := ignoreKey{file: pos.Filename, line: line}
+						if ignored[k] == nil {
+							ignored[k] = map[string]bool{}
+						}
+						ignored[k][id] = true
+					}
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if ids := ignored[ignoreKey{file: d.Pos.Filename, line: d.Pos.Line}]; ids != nil && ids[d.ID] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return append(out, malformed...)
+}

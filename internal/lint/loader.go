@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed, type-checked package of the module under
+// analysis. Only non-test files are loaded: the invariants voltvet
+// enforces are contracts on shipping code, and several analyzers
+// (determinism, error hygiene) explicitly exclude tests.
+type Package struct {
+	// ImportPath is the package's import path within the module
+	// (module path + "/" + relative directory).
+	ImportPath string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Files are the parsed non-test source files, in filename order.
+	Files []*ast.File
+	// Types and Info carry go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+	// Imports are the package's import paths (module-internal and
+	// stdlib alike), sorted and deduplicated.
+	Imports []string
+	// TypeErrors collects type-checker complaints. A non-empty list
+	// does not abort analysis — analyzers degrade gracefully on
+	// incomplete type info — but the runner surfaces it as VV-LOAD001.
+	TypeErrors []error
+}
+
+// Module is a loaded module: every buildable package, type-checked in
+// dependency order against a shared FileSet.
+type Module struct {
+	// Root is the absolute module root (the directory with go.mod).
+	Root string
+	// Path is the module path from the go.mod module directive.
+	Path string
+	// Fset positions every file in every package.
+	Fset *token.FileSet
+	// Packages maps import path to package, and Sorted lists them in
+	// deterministic (import-path) order.
+	Packages map[string]*Package
+	Sorted   []*Package
+}
+
+// sourceImporter is the shared stdlib importer. go/importer's source
+// importer parses and type-checks stdlib packages from GOROOT source,
+// which is the only stdlib-only way to get typed stdlib info (modern
+// toolchains ship no export data under GOROOT/pkg). It caches
+// internally, so the cost is paid once per process.
+var (
+	sourceImporterOnce sync.Once
+	sourceImporterFset *token.FileSet
+	sourceImporterImp  types.ImporterFrom
+)
+
+func stdlibImporter() (*token.FileSet, types.ImporterFrom) {
+	sourceImporterOnce.Do(func() {
+		sourceImporterFset = token.NewFileSet()
+		sourceImporterImp = importer.ForCompiler(sourceImporterFset, "source", nil).(types.ImporterFrom)
+	})
+	return sourceImporterFset, sourceImporterImp
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod and returns that directory and the module path.
+func FindModuleRoot(dir string) (root, modpath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			mp := modulePath(string(data))
+			if mp == "" {
+				return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// LoadModule loads every buildable package under the module rooted at
+// or above dir. Directories named testdata and hidden directories are
+// skipped, as are packages with no non-test Go files.
+func LoadModule(dir string) (*Module, error) {
+	root, modpath, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return LoadTree(root, modpath)
+}
+
+// LoadTree loads the package tree rooted at root, mapping the root
+// directory to import path modpath. It is the workhorse behind both
+// LoadModule and the fixture loader used by analyzer tests (which load
+// testdata trees under a synthetic module path).
+func LoadTree(root, modpath string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:     root,
+		Path:     modpath,
+		Fset:     token.NewFileSet(),
+		Packages: map[string]*Package{},
+	}
+	bctx := build.Default
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		bp, err := bctx.ImportDir(p, 0)
+		if err != nil || len(bp.GoFiles) == 0 {
+			return nil // not a buildable package; keep walking
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		ip := modpath
+		if rel != "." {
+			ip = modpath + "/" + filepath.ToSlash(rel)
+		}
+		pkg := &Package{ImportPath: ip, Dir: p}
+		files := append([]string(nil), bp.GoFiles...)
+		sort.Strings(files)
+		importSet := map[string]bool{}
+		for _, f := range files {
+			af, err := parser.ParseFile(m.Fset, filepath.Join(p, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("lint: parsing %s: %w", filepath.Join(p, f), err)
+			}
+			pkg.Files = append(pkg.Files, af)
+			for _, im := range af.Imports {
+				if v, err := strconv.Unquote(im.Path.Value); err == nil {
+					importSet[v] = true
+				}
+			}
+		}
+		for v := range importSet {
+			pkg.Imports = append(pkg.Imports, v)
+		}
+		sort.Strings(pkg.Imports)
+		m.Packages[ip] = pkg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.typecheck(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// typecheck type-checks every loaded package in dependency order.
+// Module-internal imports resolve to the already-checked package;
+// everything else goes through the shared stdlib source importer.
+func (m *Module) typecheck() error {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var cycle error
+	var visit func(ip string)
+	visit = func(ip string) {
+		switch state[ip] {
+		case 1:
+			if cycle == nil {
+				cycle = fmt.Errorf("lint: import cycle through %s", ip)
+			}
+			return
+		case 2:
+			return
+		}
+		state[ip] = 1
+		for _, dep := range m.Packages[ip].Imports {
+			if _, ok := m.Packages[dep]; ok {
+				visit(dep)
+			}
+		}
+		state[ip] = 2
+		order = append(order, ip)
+	}
+	var all []string
+	for ip := range m.Packages {
+		all = append(all, ip)
+	}
+	sort.Strings(all)
+	for _, ip := range all {
+		visit(ip)
+	}
+	if cycle != nil {
+		return cycle
+	}
+
+	_, stdImp := stdlibImporter()
+	imp := &moduleImporter{mod: m, std: stdImp}
+	for _, ip := range order {
+		pkg := m.Packages[ip]
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+			},
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		// Check always returns a (possibly incomplete) package; errors
+		// are collected via conf.Error and surfaced as VV-LOAD001.
+		tpkg, _ := conf.Check(ip, m.Fset, pkg.Files, info)
+		pkg.Types = tpkg
+		pkg.Info = info
+		m.Sorted = append(m.Sorted, pkg)
+	}
+	sort.Slice(m.Sorted, func(i, j int) bool { return m.Sorted[i].ImportPath < m.Sorted[j].ImportPath })
+	return nil
+}
+
+// moduleImporter resolves module-internal imports from the loaded set
+// and defers everything else to the stdlib source importer.
+type moduleImporter struct {
+	mod *Module
+	std types.ImporterFrom
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	return mi.ImportFrom(path, "", 0)
+}
+
+func (mi *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := mi.mod.Packages[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: module package %s imported before it was checked", path)
+		}
+		return pkg.Types, nil
+	}
+	return mi.std.ImportFrom(path, dir, mode)
+}

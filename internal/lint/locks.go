@@ -1,0 +1,382 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// locksAnalyzer enforces goroutine/lock hygiene in the service layer:
+// sync locks must not be copied by value (VV-LCK001), every Lock needs
+// an Unlock on every return path (VV-LCK002), and blocking channel
+// sends must not happen while a mutex is held (VV-LCK003 — a blocked
+// send under the manager lock wedges every other request).
+//
+// The Lock/Unlock check is a small path-sensitive walk over the
+// function body: lock state is tracked per receiver expression (e.g.
+// "m.mu") through if/else, switch, and select branches. When two
+// branches merge with different lock states the receiver degrades to
+// unknown and stops reporting — the analyzer prefers silence to false
+// positives on genuinely path-dependent code.
+//
+// A send inside a select that has a default clause is non-blocking by
+// construction and is not flagged (that is the bounded-queue
+// backpressure idiom campaign.Submit relies on).
+func locksAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "locks",
+		Doc:  "lock discipline in service-layer packages",
+		IDs:  []string{"VV-LCK001", "VV-LCK002", "VV-LCK003"},
+		Applies: func(cfg *Config, pkg *Package) bool {
+			return cfg.IsService(pkg.ImportPath)
+		},
+		Run: runLocks,
+	}
+}
+
+func runLocks(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, fd := range funcBodies(f) {
+			checkLockCopies(pass, fd)
+			lw := &lockWalker{pass: pass, info: pass.Pkg.Info, fn: fd}
+			st := lw.stmts(fd.Body.List, lockState{})
+			if !st.terminated {
+				for recv, pos := range st.heldAt() {
+					pass.Reportf("locks", "VV-LCK002", pos.Pos(),
+						"%s is still locked when %s falls off the end of the function", recv, fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkLockCopies flags receivers and parameters that copy a sync lock
+// by value (VV-LCK001).
+func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Pkg.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if name := lockInType(tv.Type, nil); name != "" {
+				pass.Reportf("locks", "VV-LCK001", field.Pos(),
+					"%s of %s copies %s by value; pass a pointer so Lock and Unlock see the same state", what, fd.Name.Name, name)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// lockInType reports the sync type a by-value type carries ("" if
+// none), looking through named types and struct fields but not through
+// pointers, slices, maps, or channels (those share, not copy).
+func lockInType(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockInType(named.Underlying(), seen)
+	}
+	if st, ok := t.(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if name := lockInType(st.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// lockEvent classifies a statement's effect on one lock receiver.
+type lockEvent int
+
+const (
+	evNone lockEvent = iota
+	evLock
+	evUnlock
+)
+
+// heldLock records one held lock: where it was taken and whether its
+// release is deferred.
+type heldLock struct {
+	pos      ast.Node
+	deferred bool
+}
+
+// lockState is the abstract state at one program point: the set of
+// receivers currently held, plus receivers that degraded to unknown at
+// a merge. terminated marks paths that ended in return or panic.
+type lockState struct {
+	held       map[string]heldLock
+	unknown    map[string]bool
+	terminated bool
+}
+
+func (s lockState) clone() lockState {
+	c := lockState{terminated: s.terminated}
+	if s.held != nil {
+		c.held = make(map[string]heldLock, len(s.held))
+		for k, v := range s.held {
+			c.held[k] = v
+		}
+	}
+	if s.unknown != nil {
+		c.unknown = make(map[string]bool, len(s.unknown))
+		for k := range s.unknown {
+			c.unknown[k] = true
+		}
+	}
+	return c
+}
+
+func (s *lockState) setHeld(recv string, l heldLock) {
+	if s.held == nil {
+		s.held = map[string]heldLock{}
+	}
+	s.held[recv] = l
+}
+
+func (s *lockState) setUnknown(recv string) {
+	delete(s.held, recv)
+	if s.unknown == nil {
+		s.unknown = map[string]bool{}
+	}
+	s.unknown[recv] = true
+}
+
+// heldAt returns the positions of every held, non-deferred lock.
+func (s lockState) heldAt() map[string]ast.Node {
+	out := map[string]ast.Node{}
+	for recv, l := range s.held {
+		if !l.deferred {
+			out[recv] = l.pos
+		}
+	}
+	return out
+}
+
+// merge combines the fall-through states of sibling branches.
+// Terminated branches don't constrain the merge; receivers held on one
+// live branch but not another degrade to unknown.
+func merge(states []lockState) lockState {
+	var live []lockState
+	for _, s := range states {
+		if !s.terminated {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return lockState{terminated: true}
+	}
+	out := live[0].clone()
+	out.terminated = false
+	for _, s := range live[1:] {
+		for recv := range s.unknown {
+			out.setUnknown(recv)
+		}
+		for recv, l := range s.held {
+			if cur, ok := out.held[recv]; ok {
+				cur.deferred = cur.deferred || l.deferred
+				out.held[recv] = cur
+			} else if !out.unknown[recv] {
+				out.setUnknown(recv)
+			}
+		}
+		for recv := range out.held {
+			if _, ok := s.held[recv]; !ok {
+				out.setUnknown(recv)
+			}
+		}
+	}
+	return out
+}
+
+type lockWalker struct {
+	pass *Pass
+	info *types.Info
+	fn   *ast.FuncDecl
+}
+
+// lockCall classifies a call expression as Lock/Unlock on a sync
+// receiver, returning the receiver's printed expression as identity.
+func (w *lockWalker) lockCall(call *ast.CallExpr) (recv string, ev lockEvent) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", evNone
+	}
+	fn, ok := w.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", evNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), evLock
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), evUnlock
+	}
+	return "", evNone
+}
+
+// stmts walks a statement list, threading the lock state through it.
+func (w *lockWalker) stmts(list []ast.Stmt, st lockState) lockState {
+	for _, s := range list {
+		if st.terminated {
+			return st
+		}
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st lockState) lockState {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if recv, ev := w.lockCall(call); ev == evLock {
+				st.setHeld(recv, heldLock{pos: call})
+				return st
+			} else if ev == evUnlock {
+				delete(st.held, recv)
+				return st
+			}
+			if isBuiltinPanic(w.info, call) {
+				st.terminated = true
+				return st
+			}
+		}
+	case *ast.DeferStmt:
+		if recv, ev := w.lockCall(s.Call); ev == evUnlock {
+			if l, ok := st.held[recv]; ok {
+				l.deferred = true
+				st.held[recv] = l
+			} else {
+				// defer before Lock (the Lock();defer Unlock() pair is the
+				// idiom, but defer-first appears too); remember it by
+				// pre-marking a deferred release.
+				st.setHeld(recv, heldLock{pos: s, deferred: true})
+			}
+			return st
+		}
+	case *ast.SendStmt:
+		w.reportSendsUnderLock(s, st)
+	case *ast.ReturnStmt:
+		for recv, pos := range st.heldAt() {
+			w.pass.Reportf("locks", "VV-LCK002", pos.Pos(),
+				"%s is locked here but not unlocked on the return path at line %d",
+				recv, w.pass.Module.Fset.Position(s.Pos()).Line)
+		}
+		st.terminated = true
+		return st
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		body := w.stmts(s.Body.List, st.clone())
+		alt := st.clone()
+		if s.Else != nil {
+			alt = w.stmt(s.Else, alt)
+		}
+		return merge([]lockState{body, alt})
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return w.branches(caseBodies(s), st, true)
+	case *ast.SelectStmt:
+		// A send in a select with a default clause is non-blocking by
+		// construction; without one the select can park while holding
+		// the lock.
+		blocking := !hasSelectDefault(s)
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && blocking {
+				w.reportSendsUnderLock(send, st)
+			}
+			bodies = append(bodies, cc.Body)
+		}
+		return w.branches(bodies, st, false)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		body := w.stmts(s.Body.List, st.clone())
+		return merge([]lockState{body, st.clone()})
+	case *ast.RangeStmt:
+		body := w.stmts(s.Body.List, st.clone())
+		return merge([]lockState{body, st.clone()})
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.GoStmt:
+		// A new goroutine has its own lock discipline; its body is not
+		// analyzed against this function's state.
+		return st
+	}
+	return st
+}
+
+// branches evaluates sibling branch bodies from the same entry state
+// and merges. withFallthroughEntry adds the entry state itself to the
+// merge (switch with no default, select without exhaustive cases).
+func (w *lockWalker) branches(bodies [][]ast.Stmt, st lockState, withFallthroughEntry bool) lockState {
+	var states []lockState
+	for _, b := range bodies {
+		states = append(states, w.stmts(b, st.clone()))
+	}
+	if withFallthroughEntry || len(states) == 0 {
+		states = append(states, st.clone())
+	}
+	return merge(states)
+}
+
+func caseBodies(s ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			out = append(out, c.(*ast.CaseClause).Body)
+		}
+	}
+	return out
+}
+
+func hasSelectDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// reportSendsUnderLock flags a blocking send while any lock is held.
+func (w *lockWalker) reportSendsUnderLock(send *ast.SendStmt, st lockState) {
+	if len(st.held) == 0 {
+		return
+	}
+	for recv := range st.held {
+		w.pass.Reportf("locks", "VV-LCK003", send.Arrow,
+			"blocking channel send while %s is held in %s can wedge every caller; send outside the critical section or use a select with default",
+			recv, w.fn.Name.Name)
+		return // one report per send is enough
+	}
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapOrderAnalyzer flags `range` over a map in a deterministic package
+// when the loop body is order-sensitive: it appends to a slice declared
+// outside the loop, writes to an io.Writer/hash/strings.Builder, sends
+// on a channel, or accumulates a string. Go randomizes map iteration
+// order per run, so any such loop produces run-dependent bytes — the
+// exact failure mode the golden SHA-256 pins exist to catch, surfaced
+// at compile time instead.
+//
+// The one blessed pattern is collect-then-sort: a body that only
+// appends keys/values to a slice which the same function subsequently
+// passes to sort.* or slices.Sort* is deterministic end to end and is
+// not flagged.
+func mapOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "order-sensitive iteration over a map in a deterministic package",
+		IDs:  []string{"VV-MAP001"},
+		Applies: func(cfg *Config, pkg *Package) bool {
+			return cfg.IsDeterministic(pkg.ImportPath)
+		},
+		Run: runMapOrder,
+	}
+}
+
+func runMapOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, fd := range funcBodies(f) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				sink, appendTargets := orderSensitiveSinks(info, rs)
+				if sink == "" {
+					return true
+				}
+				if sink == "append" && allSortedAfter(info, fd.Body, rs, appendTargets) {
+					return true
+				}
+				pass.Reportf("maporder", "VV-MAP001", rs.Pos(),
+					"map iteration order leaks into %s; iterate sorted keys (or sort the collected slice before use)", sink)
+				return true
+			})
+		}
+	}
+}
+
+// orderSensitiveSinks classifies what the range body does with each
+// element. It returns a human-readable sink description ("" when the
+// body is order-insensitive) and, for pure append loops, the objects of
+// the appended-to slices so the collect-then-sort exemption can check
+// them.
+func orderSensitiveSinks(info *types.Info, rs *ast.RangeStmt) (string, []types.Object) {
+	sink := ""
+	var appendTargets []types.Object
+	pureAppend := true
+	note := func(s string) {
+		if sink == "" {
+			sink = s
+		}
+		if s != "append" {
+			pureAppend = false
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			note("a channel send")
+		case *ast.AssignStmt:
+			// s = append(s, ...) and str += x are the accumulation forms.
+			for i, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+					note("append")
+					if i < len(n.Lhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								appendTargets = append(appendTargets, obj)
+							} else if obj := info.Uses[id]; obj != nil {
+								appendTargets = append(appendTargets, obj)
+							}
+						}
+					}
+				}
+			}
+			if n.Tok.String() == "+=" && len(n.Lhs) == 1 {
+				if tv, ok := info.Types[n.Lhs[0]]; ok && isStringType(tv.Type) {
+					note("string accumulation")
+				}
+			}
+		case *ast.CallExpr:
+			if name, isWrite := writerCall(info, n); isWrite {
+				note(name)
+			}
+		}
+		return true
+	})
+	if sink == "append" && !pureAppend {
+		// Mixed bodies fall through to the strongest description already
+		// captured in sink; keep it.
+		return sink, nil
+	}
+	return sink, appendTargets
+}
+
+// allSortedAfter reports whether every append target is passed to a
+// sort.* / slices.Sort* call somewhere after the range statement in the
+// enclosing function body — the collect-then-sort idiom.
+func allSortedAfter(info *types.Info, body *ast.BlockStmt, rs *ast.RangeStmt, targets []types.Object) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	sorted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if o := info.Uses[id]; o != nil {
+					sorted[o] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// writerCall reports whether the call writes bytes somewhere order
+// matters: io.Writer-style Write/WriteString/WriteByte methods, hash
+// sums, or fmt.Fprint* into a writer.
+func writerCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			return "a formatted write", true
+		}
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Sum", "Sum32", "Sum64":
+			return "a byte-stream write (" + fn.Name() + ")", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	moduleOnce sync.Once
+	moduleMod  *Module
+	moduleErr  error
+)
+
+// loadRepoModule loads the real repository module once per test binary;
+// type-checking the whole module against the source importer is the
+// expensive step, so every module-level test shares it.
+func loadRepoModule(t *testing.T) *Module {
+	t.Helper()
+	moduleOnce.Do(func() {
+		root, _, err := FindModuleRoot(".")
+		if err != nil {
+			moduleErr = err
+			return
+		}
+		moduleMod, moduleErr = LoadModule(root)
+	})
+	if moduleErr != nil {
+		t.Fatalf("loading repo module: %v", moduleErr)
+	}
+	return moduleMod
+}
+
+// TestModuleClean is the gate the CI script relies on: the repository
+// itself must produce zero non-baselined diagnostics under the default
+// configuration. If this fails, either fix the violation or — for a
+// deliberate, reviewed exception — add a //voltvet:ignore with a reason
+// or a lint.baseline entry.
+func TestModuleClean(t *testing.T) {
+	mod := loadRepoModule(t)
+	cfg := DefaultConfig()
+	diags := Run(mod, cfg, All())
+
+	base, err := ParseBaseline(filepath.Join(mod.Root, "lint.baseline"))
+	if err != nil {
+		t.Fatalf("parsing lint.baseline: %v", err)
+	}
+	fresh, _ := base.Filter(diags)
+	for _, d := range fresh {
+		t.Errorf("%s: %s %s (%s)", d.Pos, d.ID, d.Message, d.Package)
+	}
+}
+
+// TestDeterministicPackagesExist guards the configuration against
+// bit-rot: every package named in DefaultConfig must actually exist in
+// the module, so a rename cannot silently drop a package out of the
+// deterministic set.
+func TestDeterministicPackagesExist(t *testing.T) {
+	mod := loadRepoModule(t)
+	cfg := DefaultConfig()
+	for _, rel := range append(append([]string{}, cfg.DeterministicPkgs...), cfg.ServicePkgs...) {
+		full := mod.Path + "/" + rel
+		if mod.Packages[full] == nil {
+			t.Errorf("config names package %s but it is not in the module", rel)
+		}
+	}
+}
+
+// TestDeterministicImportGraph pins the determinism boundary at the
+// import-graph level: the deterministic set is import-closed. Every
+// module-internal import of a deterministic package must itself be a
+// deterministic package (never campaign/api/registry, never cmd/).
+func TestDeterministicImportGraph(t *testing.T) {
+	mod := loadRepoModule(t)
+	cfg := DefaultConfig()
+	for _, pkg := range mod.Sorted {
+		if !cfg.IsDeterministic(pkg.ImportPath) {
+			continue
+		}
+		for _, imp := range pkg.Imports {
+			if !strings.HasPrefix(imp, mod.Path+"/") {
+				continue // stdlib
+			}
+			if !cfg.DeterministicImportAllowed(imp) {
+				t.Errorf("determinism boundary broken: %s imports %s, which is outside the deterministic set",
+					pkg.ImportPath, imp)
+			}
+		}
+	}
+}
+
+// hotpathChain is the exact set of functions the static hot-path
+// analyzer covers, pinned so that annotation drift is loud. The set
+// must contain, at minimum, the full dynamic call chain exercised by
+// TestStepSteadyStateZeroAlloc in internal/soc: CPU.Step down through
+// SoC memory access into the cache and SRAM word paths.
+var hotpathChain = []string{
+	"(*repro/internal/isa.CPU).Step",
+	"(*repro/internal/soc.SoC).FetchDecoded",
+	"(*repro/internal/soc.SoC).Load",
+	"(*repro/internal/soc.SoC).Store",
+	"(*repro/internal/soc.SoC).access",
+	"(*repro/internal/soc.SoC).installPredec",
+	"(*repro/internal/soc.SoC).predecGen",
+	"(*repro/internal/soc.SoC).updateHistoryBuffers",
+	"(*repro/internal/soc.RegFile).ReadX",
+	"(*repro/internal/soc.RegFile).WriteX",
+	"(*repro/internal/cache.Cache).Access",
+	"(*repro/internal/cache.Cache).TouchFetchHit",
+	"(*repro/internal/cache.Cache).accessECC",
+	"(*repro/internal/cache.Cache).bypass",
+	"(*repro/internal/cache.Cache).index",
+	"(*repro/internal/cache.Cache).lookup",
+	"(*repro/internal/cache.Cache).touch",
+	"(*repro/internal/sram.Array).ReadBytesInto",
+	"(*repro/internal/sram.Array).ReadUint64",
+	"(*repro/internal/sram.Array).ReadUintN",
+	"(*repro/internal/sram.Array).WriteUint64",
+	"(*repro/internal/sram.Array).WriteUintN",
+}
+
+// TestHotpathAgreement keeps the static //voltvet:hotpath annotations
+// and the dynamic zero-allocation gate (TestStepSteadyStateZeroAlloc)
+// aligned: everything the dynamic gate executes in steady state must be
+// statically checked, and nothing is annotated that this pin does not
+// acknowledge.
+func TestHotpathAgreement(t *testing.T) {
+	mod := loadRepoModule(t)
+	cfg := DefaultConfig()
+	got := HotpathFuncs(mod, cfg)
+
+	for _, name := range hotpathChain {
+		if _, ok := got[name]; !ok {
+			t.Errorf("dynamic zero-alloc chain member %s lacks a //voltvet:hotpath marker", name)
+		}
+	}
+	pinned := map[string]bool{}
+	for _, name := range hotpathChain {
+		pinned[name] = true
+	}
+	extra := make([]string, 0)
+	for name := range got {
+		if !pinned[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		t.Errorf("%s is marked //voltvet:hotpath but not pinned in hotpathChain; update the pin so the dynamic gate stays in sync", name)
+	}
+}

@@ -1,0 +1,35 @@
+// Package detpkg is a fixture deterministic package that commits every
+// determinism-boundary sin the analyzer knows.
+package detpkg
+
+import (
+	crand "crypto/rand" // want "VV-DET003"
+	"math/rand"         // want "VV-DET002"
+	"os"
+	"time"
+
+	"fixture/servpkg" // want "VV-DET005"
+)
+
+// Decay draws from every forbidden well at once.
+func Decay(cells []byte) int {
+	start := time.Now() // want "VV-DET001"
+	rng := rand.New(rand.NewSource(1))
+	if os.Getenv("VOLTBOOT_DEBUG") != "" { // want "VV-DET004"
+		return 0
+	}
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	_ = servpkg.Submit("table1")
+	elapsed := time.Since(start) // want "VV-DET001"
+	return int(elapsed) + rng.Intn(len(cells)) + int(b[0])
+}
+
+// SeededDecay is the blessed pattern: all entropy flows from the caller.
+func SeededDecay(cells []byte, seed uint64) int {
+	acc := seed
+	for _, c := range cells {
+		acc = acc*0x9E3779B97F4A7C15 + uint64(c)
+	}
+	return int(acc & 0xFF)
+}

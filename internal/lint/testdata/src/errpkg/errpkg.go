@@ -1,0 +1,29 @@
+// Package errpkg exercises the dropped-error analyzer and the
+// //voltvet:ignore workflow.
+package errpkg
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Flush drops errors three ways; only undocumented drops are flagged.
+func Flush(f *os.File, lines []string) {
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l) // never fails: exempt
+	}
+	fmt.Fprintln(os.Stderr, "flushing") // process stream: exempt
+	f.Sync()                            // want "VV-ERR001"
+	_ = f.Close()                       // explicit discard: exempt
+}
+
+// Quiet drops an error but carries a reasoned ignore, so nothing is
+// reported for it; the malformed directive below is itself flagged.
+func Quiet(f *os.File) {
+	//voltvet:ignore VV-ERR001 fixture: sync errors are unobservable here
+	f.Sync()
+	//voltvet:ignore needs-an-id-and-reason // want "VV-IGN001"
+	f.Sync() // want "VV-ERR001"
+}

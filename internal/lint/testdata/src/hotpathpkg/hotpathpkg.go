@@ -1,0 +1,51 @@
+// Package hotpathpkg exercises the hot-path allocation analyzer:
+// functions tagged //voltvet:hotpath may not allocate on the live path,
+// while error and panic paths stay exempt, and untagged functions are
+// ignored entirely.
+package hotpathpkg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sink consumes an interface so boxing call sites are observable.
+func Sink(v any) {}
+
+// take consumes a closure.
+func take(f func() int) int { return f() }
+
+// Step is the fixture hot function: every construct below defeats the
+// zero-alloc contract.
+//
+//voltvet:hotpath
+func Step(name string, n int) (int, error) {
+	if n < 0 {
+		// Cold: the Sprintf feeds panic, the Errorf is a return operand.
+		if n < -10 {
+			panic(fmt.Sprintf("step: wildly negative %d", n))
+		}
+		return 0, fmt.Errorf("step: negative %d", n)
+	}
+	label := fmt.Sprintf("step-%d", n)                // want "VV-HOT001"
+	tag := name + label                               // want "VV-HOT002"
+	total := take(func() int { return n + len(tag) }) // want "VV-HOT003"
+	Sink(n)                                           // want "VV-HOT004"
+	return total, nil
+}
+
+// Warm is identical but untagged; nothing is reported.
+func Warm(name string, n int) string {
+	return fmt.Sprintf("%s-%d", name, n)
+}
+
+// Fast shows the allocation-free shapes the analyzer accepts.
+//
+//voltvet:hotpath
+func Fast(buf []byte, n int) (int, error) {
+	if n >= len(buf) {
+		return 0, errors.New("out of range")
+	}
+	buf[n] = byte(n)
+	return int(buf[n]) + n, nil
+}

@@ -1,0 +1,62 @@
+// Package lockpkg exercises the service-layer lock analyzer: lock
+// copies, missing unlocks on return paths, and blocking sends inside
+// critical sections.
+package lockpkg
+
+import "sync"
+
+// Manager is the fixture job manager.
+type Manager struct {
+	mu    sync.Mutex
+	queue chan int
+	jobs  map[int]string
+}
+
+// ByValue copies its receiver's mutex every call.
+func (m Manager) ByValue() int { return len(m.jobs) } // want "VV-LCK001"
+
+// Configure copies a mutex in by value.
+func Configure(mu sync.Mutex) {} // want "VV-LCK001"
+
+// Leak locks and forgets to unlock on the early return path.
+func (m *Manager) Leak(id int) string {
+	m.mu.Lock() // want "VV-LCK002"
+	if s, ok := m.jobs[id]; ok {
+		return s
+	}
+	m.mu.Unlock()
+	return ""
+}
+
+// WedgeRisk sends on a possibly-full channel while holding the lock.
+func (m *Manager) WedgeRisk(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queue <- id // want "VV-LCK003"
+}
+
+// Submit is the blessed bounded-queue idiom: the select has a default,
+// so the send cannot block, and every path unlocks.
+func (m *Manager) Submit(id int) bool {
+	m.mu.Lock()
+	if m.jobs == nil {
+		m.mu.Unlock()
+		return false
+	}
+	select {
+	case m.queue <- id:
+	default:
+		m.mu.Unlock()
+		return false
+	}
+	m.jobs[id] = "queued"
+	m.mu.Unlock()
+	return true
+}
+
+// Get is the defer idiom.
+func (m *Manager) Get(id int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}

@@ -1,0 +1,64 @@
+// Package maporderpkg exercises the map-iteration-order analyzer: maps
+// feeding order-sensitive sinks are flagged; the collect-then-sort
+// idiom and order-insensitive aggregation are not.
+package maporderpkg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Names leaks map order into an appended slice that is never sorted.
+func Names(set map[string]int) []string {
+	var out []string
+	for name := range set { // want "VV-MAP001"
+		out = append(out, name)
+	}
+	return out
+}
+
+// Render leaks map order into a byte stream.
+func Render(set map[string]int) string {
+	var b strings.Builder
+	for name, v := range set { // want "VV-MAP001"
+		fmt.Fprintf(&b, "%s=%d\n", name, v)
+	}
+	return b.String()
+}
+
+// Feed leaks map order into a channel.
+func Feed(set map[string]int, ch chan string) {
+	for name := range set { // want "VV-MAP001"
+		ch <- name
+	}
+}
+
+// Concat leaks map order into a string accumulator.
+func Concat(set map[string]int) string {
+	s := ""
+	for name := range set { // want "VV-MAP001"
+		s += name
+	}
+	return s
+}
+
+// SortedNames is the blessed collect-then-sort idiom: iteration order
+// cannot survive the sort.
+func SortedNames(set map[string]int) []string {
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total aggregates order-insensitively; nothing to flag.
+func Total(set map[string]int) int {
+	sum := 0
+	for _, v := range set {
+		sum += v
+	}
+	return sum
+}

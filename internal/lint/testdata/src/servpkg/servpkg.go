@@ -1,0 +1,7 @@
+// Package servpkg is the fixture stand-in for a service-layer package
+// (campaign/api/registry in the real module). Deterministic fixture
+// packages must not import it.
+package servpkg
+
+// Submit is here so importers have something to call.
+func Submit(name string) string { return "job-" + name }

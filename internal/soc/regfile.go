@@ -34,11 +34,15 @@ func NewRegFile(arr *sram.Array) *RegFile {
 func (r *RegFile) Array() *sram.Array { return r.arr }
 
 // ReadX implements isa.RegBacking.
+//
+//voltvet:hotpath
 func (r *RegFile) ReadX(i int) uint64 {
 	return r.arr.ReadUint64(regfileXBase + i*8)
 }
 
 // WriteX implements isa.RegBacking.
+//
+//voltvet:hotpath
 func (r *RegFile) WriteX(i int, v uint64) {
 	r.arr.WriteUint64(regfileXBase+i*8, v)
 }

@@ -563,6 +563,8 @@ func (s *SoC) FetchInstr(core int, addr uint64) (uint32, error) {
 // Decode. The generation stamp guarantees the hit is sound: if no
 // guarding counter moved since install, the same level would serve the
 // same word from the same (way, set) today.
+//
+//voltvet:hotpath
 func (s *SoC) FetchDecoded(core int, addr uint64) (isa.Instr, uint32, error) {
 	if core < 0 || core >= len(s.Cores) {
 		return isa.Instr{}, 0, fmt.Errorf("soc: core %d out of range", core)
@@ -606,6 +608,8 @@ func (s *SoC) FetchDecoded(core int, addr uint64) (isa.Instr, uint32, error) {
 // core's predecode table, classified by the level that served it. The
 // generation is sampled *after* the fetch, so a fill triggered by the
 // fetch itself guards the entry correctly.
+//
+//voltvet:hotpath
 func (s *SoC) installPredec(c *Core, e *predecEntry, addr uint64, in isa.Instr, word uint32) {
 	mode := predecNone
 	var way, set int
@@ -650,6 +654,8 @@ func (s *SoC) installPredec(c *Core, e *predecEntry, addr uint64, in isa.Instr, 
 // could change what a fetch in that mode observes or which level serves
 // it. Sums of monotonic counters are monotonic, so a stamp comparison
 // detects "anything moved".
+//
+//voltvet:hotpath
 func (s *SoC) predecGen(c *Core, mode uint8) uint64 {
 	switch mode {
 	case predecL1I:
@@ -680,11 +686,15 @@ func (s *SoC) predecGen(c *Core, mode uint8) uint64 {
 }
 
 // Load implements isa.Bus.
+//
+//voltvet:hotpath
 func (s *SoC) Load(core int, addr uint64, size int) (uint64, error) {
 	return s.access(core, addr, size, false, 0, false)
 }
 
 // Store implements isa.Bus.
+//
+//voltvet:hotpath
 func (s *SoC) Store(core int, addr uint64, size int, v uint64) error {
 	_, err := s.access(core, addr, size, true, v, false)
 	return err
@@ -709,6 +719,7 @@ func (s *SoC) Store128(core int, addr uint64, v [2]uint64) error {
 	return err
 }
 
+//voltvet:hotpath
 func (s *SoC) access(core int, addr uint64, size int, write bool, wdata uint64, ifetch bool) (uint64, error) {
 	if core < 0 || core >= len(s.Cores) {
 		return 0, fmt.Errorf("soc: core %d out of range", core)
@@ -774,6 +785,8 @@ func (s *SoC) access(core int, addr uint64, size int, write bool, wdata uint64, 
 // targets). Entry format: bit 0 = valid, bits [63:1] = page number or
 // target word address. These writes model the hardware's own bookkeeping,
 // which is why the buffers hold victim history when the attacker arrives.
+//
+//voltvet:hotpath
 func (s *SoC) updateHistoryBuffers(c *Core, addr uint64, ifetch bool) {
 	if c.TLB.Powered() {
 		page := addr >> 12

@@ -358,6 +358,8 @@ func (a *Array) ReadBytes(off, n int) []byte {
 // WriteUint64 stores a 64-bit little-endian word at byte offset off. It
 // is allocation-free: an aligned store is a single packed-word write, an
 // unaligned one touches the two straddled words.
+//
+//voltvet:hotpath
 func (a *Array) WriteUint64(off int, v uint64) {
 	a.checkAccess("WriteUint64")
 	if off < 0 || (off+8)*8 > a.n {
@@ -377,6 +379,8 @@ func (a *Array) WriteUint64(off int, v uint64) {
 
 // ReadUint64 loads a 64-bit little-endian word from byte offset off
 // without allocating.
+//
+//voltvet:hotpath
 func (a *Array) ReadUint64(off int) uint64 {
 	a.checkAccess("ReadUint64")
 	if off < 0 || (off+8)*8 > a.n {
@@ -394,6 +398,8 @@ func (a *Array) ReadUint64(off int) uint64 {
 // off, for 1 ≤ size ≤ 8. Like WriteUint64 it operates directly on the
 // packed words — at most two are touched — so subword cache traffic
 // (byte/half/word stores, ECC-word updates) never needs a scratch slice.
+//
+//voltvet:hotpath
 func (a *Array) WriteUintN(off, size int, v uint64) {
 	a.checkAccess("WriteUintN")
 	if off < 0 || size < 1 || size > 8 || (off+size)*8 > a.n {
@@ -420,6 +426,8 @@ func (a *Array) WriteUintN(off, size int, v uint64) {
 
 // ReadUintN loads size bytes little-endian from byte offset off, for
 // 1 ≤ size ≤ 8, without allocating.
+//
+//voltvet:hotpath
 func (a *Array) ReadUintN(off, size int) uint64 {
 	a.checkAccess("ReadUintN")
 	if off < 0 || size < 1 || size > 8 || (off+size)*8 > a.n {
@@ -444,6 +452,8 @@ func (a *Array) ReadUintN(off, size int) uint64 {
 // ReadBytesInto copies len(dst) bytes starting at byte offset off into
 // dst — the allocation-free form of ReadBytes, used by the cache fill
 // and writeback paths to reuse a scratch line buffer.
+//
+//voltvet:hotpath
 func (a *Array) ReadBytesInto(off int, dst []byte) {
 	a.checkAccess("ReadBytesInto")
 	n := len(dst)

@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> voltvet ./... (determinism / hot-path / lock / error invariants)"
+go run ./cmd/voltvet ./...
+
 echo "==> go build ./..."
 go build ./...
 
