@@ -174,6 +174,21 @@ type Cache struct {
 	// SRAM.
 	contentGen uint64
 
+	// Single-entry way memo: the (tag, set) → way resolution of the most
+	// recent hit, stamped with the tag RAM's content generation. While the
+	// stamp matches, no tag entry has been written and no physics event has
+	// touched the tag array, so the memoised way still holds a valid line
+	// with the memoised tag and the Ways-wide tag scan in lookup can be
+	// skipped. Any tag write — fill, eviction, maintenance, a first
+	// dirty-bit set — or any power/retention event on the tag RAM bumps
+	// its generation and retires the memo. Derived state: it resolves to
+	// exactly what lookup would return, so it is invisible to replacement
+	// order, stats and contents.
+	memoTag uint64
+	memoGen uint64
+	memoSet int32
+	memoWay int32 // -1 when empty
+
 	stats Stats
 }
 
@@ -192,6 +207,7 @@ func New(env *sim.Env, cfg Config, model sram.RetentionModel, seed uint64, backi
 		lockedWays: make([]bool, cfg.Ways),
 		lastUse:    make([][]uint64, cfg.Ways),
 		scratch:    make([]byte, cfg.LineBytes),
+		memoWay:    -1,
 	}
 	for w := range c.lastUse {
 		c.lastUse[w] = make([]uint64, sets)
@@ -384,16 +400,23 @@ func (c *Cache) Access(addr uint64, size int, write bool, wdata uint64, secure b
 		c.stats.Bypasses++
 		return c.bypass(addr, size, write, wdata)
 	}
-	w := c.lookup(tag, set)
-	if w < 0 {
+	var w int
+	if c.memoWay >= 0 && tag == c.memoTag && set == int(c.memoSet) && c.tagRAM.Gen() == c.memoGen {
+		// Memo hit: the tag RAM is untouched since the stamp, so the
+		// memoised way still holds this line.
+		w = int(c.memoWay)
+		c.stats.Hits++
+	} else if w = c.lookup(tag, set); w < 0 {
 		c.stats.Misses++
 		var err error
 		w, err = c.fill(tag, set, secure)
 		if err != nil {
 			return 0, err
 		}
+		c.memoStore(tag, set, w)
 	} else {
 		c.stats.Hits++
+		c.memoStore(tag, set, w)
 	}
 	c.touch(w, set)
 	base := set*c.cfg.LineBytes + off
@@ -402,11 +425,41 @@ func (c *Cache) Access(addr uint64, size int, write bool, wdata uint64, secure b
 	}
 	if write {
 		c.dataRAM[w].WriteUintN(base, size, wdata)
-		c.setTagEntry(w, set, c.tagEntry(w, set)|tagDirtyBit)
+		c.markDirty(w, set)
 		c.contentGen++
 		return 0, nil
 	}
 	return c.dataRAM[w].ReadUintN(base, size), nil
+}
+
+// memoStore records a freshly resolved (tag, set) → way mapping, stamped
+// against the tag RAM's current generation.
+//
+//voltvet:hotpath
+func (c *Cache) memoStore(tag uint64, set, way int) {
+	c.memoTag = tag
+	c.memoSet = int32(set)
+	c.memoWay = int32(way)
+	c.memoGen = c.tagRAM.Gen()
+}
+
+// markDirty sets the dirty bit on (way, set). Lines that are already
+// dirty skip the redundant tag write: the stored entry would be
+// bit-identical, and skipping it keeps the tag RAM's generation — and
+// with it the way memo — stable across store streams to a dirty line.
+//
+//voltvet:hotpath
+func (c *Cache) markDirty(way, set int) {
+	e := c.tagEntry(way, set)
+	if e&tagDirtyBit != 0 {
+		return
+	}
+	c.setTagEntry(way, set, e|tagDirtyBit)
+	// Our own tag write moved the generation but not the way mapping;
+	// keep the memo alive if it points at this cache state.
+	if c.memoWay >= 0 {
+		c.memoGen = c.tagRAM.Gen()
+	}
 }
 
 // accessECC performs an architectural access to an InlineECC data RAM:
@@ -432,7 +485,7 @@ func (c *Cache) accessECC(w, set, base, size int, write bool, wdata uint64) (uin
 			}
 			arr.WriteUintN(wordBase+i, 4, uint64(ECCEncodeWord(dec)))
 		}
-		c.setTagEntry(w, set, c.tagEntry(w, set)|tagDirtyBit)
+		c.markDirty(w, set)
 		c.contentGen++
 		return 0, nil
 	}

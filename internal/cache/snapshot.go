@@ -1,0 +1,57 @@
+package cache
+
+// Snapshot support for the cache's non-SRAM state. The tag and data RAMs
+// are sram.Arrays and are captured by their own ArraySnapshots (the SoC
+// enumerates them via Arrays()); what remains here is the plain-memory
+// microarchitectural state a fork must also rewind so a restored trial
+// replays bit-identically: LRU timestamps (they decide eviction order),
+// the enable and way-lock configuration, and the hit/miss statistics.
+//
+// The way memo and contentGen are deliberately NOT captured: both are
+// derived state. contentGen stays monotonic — RestoreAux bumps it, so
+// predecode stamps issued after the capture can never falsely validate
+// after the rewind — and the memo is simply dropped (its re-resolution
+// is invisible to replacement order, stats, and contents).
+
+// AuxSnapshot is the captured non-SRAM state of one Cache.
+type AuxSnapshot struct {
+	c          *Cache
+	lastUse    [][]uint64
+	useTick    uint64
+	enabled    bool
+	lockedWays []bool
+	stats      Stats
+}
+
+// CaptureAux records the cache's plain-memory state.
+func (c *Cache) CaptureAux() *AuxSnapshot {
+	s := &AuxSnapshot{
+		c:          c,
+		lastUse:    make([][]uint64, len(c.lastUse)),
+		useTick:    c.useTick,
+		enabled:    c.enabled,
+		lockedWays: append([]bool(nil), c.lockedWays...),
+		stats:      c.stats,
+	}
+	for w := range c.lastUse {
+		s.lastUse[w] = append([]uint64(nil), c.lastUse[w]...)
+	}
+	return s
+}
+
+// RestoreAux rewinds the cache's plain-memory state to the captured
+// values, drops the way memo, and bumps the content generation.
+func (c *Cache) RestoreAux(s *AuxSnapshot) {
+	if s.c != c {
+		panic("cache: RestoreAux onto a different cache")
+	}
+	for w := range c.lastUse {
+		copy(c.lastUse[w], s.lastUse[w])
+	}
+	c.useTick = s.useTick
+	c.enabled = s.enabled
+	copy(c.lockedWays, s.lockedWays)
+	c.stats = s.stats
+	c.memoWay = -1
+	c.contentGen++
+}

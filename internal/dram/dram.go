@@ -21,9 +21,9 @@
 package dram
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/sim"
 	"repro/internal/xrand"
@@ -77,18 +77,21 @@ type Module struct {
 	// loses nothing: the attack statistics operate on error fractions far
 	// above the within-byte correlation this introduces.
 	//
-	// The slice is filled lazily by ensureRetention on the first power-up
-	// whose outage could plausibly decay a byte. The module's rng serves
-	// this fill and nothing else, so deferring the NormFloat64 draws
-	// produces bit-identical values — most simulated SoCs only ever see
-	// zero-length DRAM outages (the rails bounce during construction and
-	// boot without simulated time passing) and never pay for the fill.
+	// The slice is filled lazily by ensureRetentionTo, and only as far as
+	// resolution actually reads: the module's rng serves this fill and
+	// nothing else, and FillNormFloat32 carries its rejection-sampling
+	// state inside the Rand, so a prefix grown across several calls is
+	// draw-for-draw identical to one eager whole-module fill. Most
+	// simulated SoCs only ever see zero-length DRAM outages and never pay
+	// for any of it; the Volt Boot flow reads only the dump region and
+	// pays for the prefix below it.
 	logRetention []float32
-	// minLogRet/maxLogRet bound the logRetention values, captured during
-	// the fill. PowerOn uses them to recognize the two extreme outages
-	// without touching the per-byte data: one too short to decay any byte
-	// (minLogRet) and one that outlives every byte (maxLogRet — the Volt
-	// Boot half-second cycle against second-scale DRAM medians).
+	// retFilled is how many leading logRetention entries have been drawn.
+	retFilled int
+	// minLogRet/maxLogRet bound the logRetention values drawn so far.
+	// They certify module-wide facts — an outage too short to decay any
+	// byte, or one that outlives every byte — only once retFilled covers
+	// the whole module.
 	minLogRet float32
 	maxLogRet float32
 
@@ -104,6 +107,36 @@ type Module struct {
 	// it — uncached store loops would thrash the table — and re-verifies
 	// the fetched word instead.) Plain derived state, not physics.
 	gen uint64
+
+	// Lazy outage resolution. PowerOn after a non-trivial outage does not
+	// walk the array: it records the outage's decay thresholds here and
+	// marks every byte unresolved. A byte materializes its post-outage
+	// value on first read (resolveRange); a write resolves it by
+	// overwriting (markRange) — decay decided against a value that is
+	// about to be overwritten is unobservable. The attack's hot loop
+	// (power cycle, boot a payload, dump regions the payload just wrote)
+	// then never touches logRetention at all. resolved == nil means no
+	// outage is pending and every byte is materialized.
+	resolved   []uint64 // per-byte bitmap, 1 = materialized
+	unresolved int      // count of zero bits in resolved
+	outage     pendingOutage
+
+	// snapDirty, when non-nil, is the armed copy-on-write page table over
+	// data (see snapshot.go); snapOwner is the snapshot it tracks against.
+	// Derived state, not physics.
+	snapDirty []uint64
+	snapOwner *ModuleSnapshot
+}
+
+// pendingOutage is a power-off interval whose per-byte decay resolution
+// has been deferred. su/sl are the float32-space survival thresholds
+// (see leastFloat32Satisfying) and elapsed/median feed the exact
+// in-band recheck — together they decide each byte identically to the
+// eager walk PowerOn used to run.
+type pendingOutage struct {
+	su, sl  float32
+	elapsed float64
+	median  float64
 }
 
 // NewModule creates a DRAM module of size bytes. It starts powered with
@@ -125,20 +158,40 @@ func NewModule(env *sim.Env, name string, size int, model RetentionModel, seed u
 	return m
 }
 
-// ensureRetention draws the per-byte retention multipliers on first need.
-// The draws consume the module's dedicated rng stream in construction
-// order, so the values are identical whether generated here or eagerly in
-// NewModule — deferral only skips work for modules whose outages are all
-// zero-length.
-func (m *Module) ensureRetention() {
-	if m.logRetention != nil {
+// retChunk is the granularity the retention fill grows by: coarse enough
+// that a burst of nearby line resolutions pays one draw batch, fine
+// enough that a dump region at 2 MB doesn't drag in the whole module.
+const retChunk = 256 * 1024
+
+// ensureRetention draws the per-byte retention multipliers for the whole
+// module — the eager fill resolveAll and the module-wide certificates
+// need.
+func (m *Module) ensureRetention() { m.ensureRetentionTo(len(m.data)) }
+
+// ensureRetentionTo draws retention multipliers for at least the first n
+// bytes. The draws consume the module's dedicated rng stream strictly in
+// byte order, so a prefix grown across several calls is bit-identical to
+// the eager whole-module fill — deferral only skips the suffix no
+// resolution ever reads.
+func (m *Module) ensureRetentionTo(n int) {
+	if n > len(m.data) {
+		n = len(m.data)
+	}
+	if m.logRetention != nil && m.retFilled >= n {
 		return
 	}
-	m.logRetention = make([]float32, len(m.data))
-	m.rng.FillNormFloat32(m.logRetention, m.model.RetentionSigma)
-	m.minLogRet = float32(math.Inf(1))
-	m.maxLogRet = float32(math.Inf(-1))
-	for _, lr := range m.logRetention {
+	if m.logRetention == nil {
+		m.logRetention = make([]float32, len(m.data))
+		m.minLogRet = float32(math.Inf(1))
+		m.maxLogRet = float32(math.Inf(-1))
+	}
+	target := (n + retChunk - 1) &^ (retChunk - 1)
+	if target > len(m.data) {
+		target = len(m.data)
+	}
+	chunk := m.logRetention[m.retFilled:target]
+	m.rng.FillNormFloat32(chunk, m.model.RetentionSigma)
+	for _, lr := range chunk {
 		if lr < m.minLogRet {
 			m.minLogRet = lr
 		}
@@ -146,6 +199,7 @@ func (m *Module) ensureRetention() {
 			m.maxLogRet = lr
 		}
 	}
+	m.retFilled = target
 }
 
 // fillGround writes the ground pattern for byte offsets [off, off+len(dst))
@@ -199,6 +253,11 @@ func (m *Module) PowerOff() {
 	if !m.powered {
 		return
 	}
+	// A back-to-back outage with no intervening read of some bytes: finish
+	// the previous outage's deferred resolution first, so at most one
+	// outage is ever pending and each one applies to the byte values that
+	// were current when it began.
+	m.resolveAll()
 	m.powered = false
 	m.gen++
 	m.offSince = m.env.Now()
@@ -242,94 +301,155 @@ func (m *Module) PowerOn() {
 		m.env.Logf("dram", "%s power on: 0/%d bytes decayed to ground", m.name, len(m.data))
 		return
 	}
-	m.ensureRetention()
-	if float64(m.minLogRet) > logEl+band {
-		// Even the leakiest byte outlives the outage: nothing decays.
+	if m.retFilled == len(m.data) && float64(m.minLogRet) > logEl+band {
+		// The retention fill is complete and certifies that even the
+		// leakiest byte outlives the outage: nothing decays, no deferral
+		// needed. (Without a full fill the same conclusion is reached
+		// lazily — see resolveSlow — without forcing the fill here.)
 		m.env.Logf("dram", "%s power on: 0/%d bytes decayed to ground", m.name, len(m.data))
 		return
 	}
-	decayed := 0
+	// Defer the walk: record the outage's survival thresholds and mark
+	// every byte unresolved. The float64 thresholds are translated once
+	// into exact float32-space equivalents — the set {lr : float64(lr) > hi}
+	// is an upward-closed set of float32 values, so it equals {lr : lr ≥ su}
+	// for the least float32 su above hi — and resolution then compares the
+	// stored float32 directly. Both predicates decide identically to the
+	// float64 forms for every possible lr, including NaN thresholds (no
+	// byte survives, as before).
 	lo, hi := logEl-band, logEl+band
-	if float64(m.maxLogRet) < lo {
-		// Even the stickiest byte's retention sits strictly below the safety
-		// band: every byte fails both per-byte predicates below (x > hi is
-		// impossible since x ≤ maxLogRet < lo ≤ hi, and so is x ≥ lo), so the
-		// whole module decays to ground. This is the Volt Boot regime — a
-		// half-second outage against second-scale medians leaves no
-		// survivors only when the die is warm enough, which maxLogRet
-		// certifies exactly — and it reduces the walk to a ground-pattern
-		// compare-and-restore with no float loads at all. The decayed count
-		// (bytes that differed from ground) is identical by construction.
-		g := m.model.GroundBlockBytes
-		for start := 0; start < len(m.data); start += g {
-			end := start + g
-			if end > len(m.data) {
-				end = len(m.data)
-			}
-			var gb byte
-			var gw uint64
-			if (start/g)%2 == 1 {
-				gb, gw = 0xFF, ^uint64(0)
-			}
-			data := m.data[start:end]
-			j := 0
-			for ; j+8 <= len(data); j += 8 {
-				if binary.LittleEndian.Uint64(data[j:]) == gw {
-					continue // already ground state
-				}
-				for k := j; k < j+8; k++ {
-					if data[k] != gb {
-						data[k] = gb
-						decayed++
-					}
-				}
-			}
-			for ; j < len(data); j++ {
-				if data[j] != gb {
-					data[j] = gb
-					decayed++
-				}
-			}
+	m.outage = pendingOutage{
+		su:      leastFloat32Satisfying(hi, false), // lr >= su  ⟺  float64(lr) >  hi
+		sl:      leastFloat32Satisfying(lo, true),  // lr >= sl  ⟺  float64(lr) >= lo
+		elapsed: elapsed,
+		median:  median,
+	}
+	words := (len(m.data) + 63) / 64
+	if m.resolved == nil {
+		m.resolved = make([]uint64, words)
+	} else {
+		for i := range m.resolved {
+			m.resolved[i] = 0
 		}
-		m.env.Logf("dram", "%s power on: %d/%d bytes decayed to ground", m.name, decayed, len(m.data))
+	}
+	m.unresolved = len(m.data)
+	m.env.Logf("dram", "%s power on after %s outage: decay resolution deferred (%d bytes)",
+		m.name, sim.Time(elapsed), len(m.data))
+}
+
+// dropPending releases the deferral state once every byte is materialized.
+func (m *Module) dropPending() {
+	m.resolved = nil
+	m.unresolved = 0
+}
+
+// resolveAll materializes every still-unresolved byte (the eager walk the
+// deferral postponed), used before a new outage begins.
+func (m *Module) resolveAll() {
+	if m.resolved != nil {
+		m.resolveSlow(0, len(m.data))
+	}
+}
+
+// resolveRange guarantees bytes [off, off+n) are materialized before a
+// read observes them. The fast path — no outage pending, or the covering
+// bitmap words fully set — is a handful of loads; only genuinely
+// unresolved neighborhoods fall through to the walk.
+//
+//voltvet:hotpath
+func (m *Module) resolveRange(off, n int) {
+	if m.resolved == nil || n <= 0 {
 		return
 	}
-	// Walk ground blocks so the target value is a constant per inner loop
-	// instead of a per-byte block-index division. The float64 thresholds
-	// are translated once into exact float32-space equivalents — the set
-	// {lr : float64(lr) > hi} is an upward-closed set of float32 values,
-	// so it equals {lr : lr ≥ su} for the least float32 su above hi — and
-	// the hot loop then compares the stored float32 directly, with no
-	// per-byte widening. Both predicates decide identically to the float64
-	// forms for every possible lr, including NaN thresholds (no byte
-	// survives, as before).
-	su := leastFloat32Satisfying(hi, false) // lr >= su  ⟺  float64(lr) >  hi
-	sl := leastFloat32Satisfying(lo, true)  // lr >= sl  ⟺  float64(lr) >= lo
-	g := m.model.GroundBlockBytes
-	for start := 0; start < len(m.data); start += g {
-		end := start + g
-		if end > len(m.data) {
-			end = len(m.data)
-		}
-		var gb byte
-		if (start/g)%2 == 1 {
-			gb = 0xFF
-		}
-		data := m.data[start:end]
-		for j, lr := range m.logRetention[start:end] {
-			if lr >= su {
-				continue // retention clearly exceeds the outage
-			}
-			if lr >= sl && elapsed < median*math.Exp(float64(lr)) {
-				continue // inside the band: exact original check says it survived
-			}
-			if data[j] != gb {
-				data[j] = gb
-				decayed++
-			}
+	for w, last := off>>6, (off+n-1)>>6; w <= last; w++ {
+		if m.resolved[w] != ^uint64(0) {
+			m.resolveSlow(off, n)
+			return
 		}
 	}
-	m.env.Logf("dram", "%s power on: %d/%d bytes decayed to ground", m.name, decayed, len(m.data))
+}
+
+// resolveSlow decides decay for every unresolved byte of [off, off+n)
+// against the pending outage, exactly as the eager walk would have: the
+// two float32 threshold compares, then the exact in-band recheck. The
+// module-wide retention bounds collapse the two extreme outages first —
+// a no-decay outage drops the whole deferral, a total-decay one (the
+// Volt Boot power cycle) restores ground without touching logRetention.
+func (m *Module) resolveSlow(off, n int) {
+	o := &m.outage
+	// Conservatively dirty the whole range for any armed snapshot: decay
+	// materialization rewrites bytes in place, and a per-decayed-byte mark
+	// would cost more than restoring a few extra clean pages.
+	m.markSnapRange(off, n)
+	// Draw retention values only as far as this resolution reads. The
+	// module-wide certificates need the complete fill; with a partial one
+	// the per-byte predicate below decides each byte identically, just
+	// without the wholesale shortcuts.
+	m.ensureRetentionTo(off + n)
+	full := m.retFilled == len(m.data)
+	if full && m.minLogRet >= o.su {
+		// Even the leakiest byte outlives the outage: every unresolved byte
+		// already holds its surviving value. Drop the deferral wholesale.
+		m.dropPending()
+		return
+	}
+	fullDecay := full && !(m.maxLogRet >= o.sl) // maxLogRet strictly below the band
+	for i := off; i < off+n; i++ {
+		w, bit := i>>6, uint64(1)<<uint(i&63)
+		if m.resolved[w]&bit != 0 {
+			continue
+		}
+		decays := fullDecay
+		if !fullDecay {
+			lr := m.logRetention[i]
+			decays = lr < o.su && !(lr >= o.sl && o.elapsed < o.median*math.Exp(float64(lr)))
+		}
+		if decays {
+			m.data[i] = m.groundByte(i)
+		}
+		m.resolved[w] |= bit
+		m.unresolved--
+	}
+	if m.unresolved == 0 {
+		m.dropPending()
+	}
+}
+
+// markRange records that bytes [off, off+n) were overwritten: whatever
+// decay the pending outage would have resolved them to is dead state. A
+// full bitmap word (a 64-byte aligned line, or the middle of a larger
+// write) is retired with one store.
+//
+//voltvet:hotpath
+func (m *Module) markRange(off, n int) {
+	if m.resolved == nil || n <= 0 {
+		return
+	}
+	end := off + n
+	i := off
+	for ; i < end && i&63 != 0; i++ { // head: reach word alignment
+		w, bit := i>>6, uint64(1)<<uint(i&63)
+		if m.resolved[w]&bit == 0 {
+			m.resolved[w] |= bit
+			m.unresolved--
+		}
+	}
+	for ; i+64 <= end; i += 64 { // middle: whole bitmap words
+		if v := m.resolved[i>>6]; v != ^uint64(0) {
+			m.unresolved -= 64 - bits.OnesCount64(v)
+			m.resolved[i>>6] = ^uint64(0)
+		}
+	}
+	for ; i < end; i++ { // tail
+		w, bit := i>>6, uint64(1)<<uint(i&63)
+		if m.resolved[w]&bit == 0 {
+			m.resolved[w] |= bit
+			m.unresolved--
+		}
+	}
+	if m.unresolved == 0 {
+		m.dropPending()
+	}
 }
 
 // leastFloat32Satisfying returns the least float32 s such that
@@ -377,6 +497,8 @@ func (m *Module) check(op string, off, n int) {
 func (m *Module) Write(off int, b []byte) {
 	m.check("Write", off, len(b))
 	m.gen++
+	m.markRange(off, len(b))
+	m.markSnapRange(off, len(b))
 	copy(m.data[off:], b)
 }
 
@@ -389,6 +511,8 @@ func (m *Module) WriteUintN(off, size int, v uint64) {
 		panic(fmt.Sprintf("dram: WriteUintN size %d out of range on %s", size, m.name))
 	}
 	m.gen++
+	m.markRange(off, size)
+	m.markSnapRange(off, size)
 	for i := 0; i < size; i++ {
 		m.data[off+i] = byte(v >> (8 * uint(i)))
 	}
@@ -401,6 +525,7 @@ func (m *Module) ReadUintN(off, size int) uint64 {
 	if size < 1 || size > 8 {
 		panic(fmt.Sprintf("dram: ReadUintN size %d out of range on %s", size, m.name))
 	}
+	m.resolveRange(off, size)
 	var v uint64
 	for i := 0; i < size; i++ {
 		v |= uint64(m.data[off+i]) << (8 * uint(i))
@@ -411,6 +536,7 @@ func (m *Module) ReadUintN(off, size int) uint64 {
 // Read returns n bytes from offset off.
 func (m *Module) Read(off, n int) []byte {
 	m.check("Read", off, n)
+	m.resolveRange(off, n)
 	out := make([]byte, n)
 	copy(out, m.data[off:off+n])
 	return out
@@ -424,6 +550,7 @@ func (m *Module) ReadLine(addr uint64, buf []byte) error {
 	if addr+uint64(len(buf)) > uint64(len(m.data)) {
 		return fmt.Errorf("dram: %s read at %#x+%d out of range", m.name, addr, len(buf))
 	}
+	m.resolveRange(int(addr), len(buf))
 	copy(buf, m.data[addr:])
 	return nil
 }
@@ -437,6 +564,8 @@ func (m *Module) WriteLine(addr uint64, buf []byte) error {
 		return fmt.Errorf("dram: %s write at %#x+%d out of range", m.name, addr, len(buf))
 	}
 	m.gen++
+	m.markRange(int(addr), len(buf))
+	m.markSnapRange(int(addr), len(buf))
 	copy(m.data[addr:], buf)
 	return nil
 }

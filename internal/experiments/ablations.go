@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/aes"
 	"repro/internal/analysis"
+	"repro/internal/board"
 	"repro/internal/core"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -34,9 +35,11 @@ type ProbeSweepResult struct {
 }
 
 // ProbeCurrentSweep measures extraction accuracy across probe current
-// limits. Each current limit attacks its own same-seed board, so the ten
-// cells are independent and fan out across CPUs; rows come back in sweep
-// order regardless of scheduling.
+// limits. The ten cells share everything up to the probe's current
+// limit — same-seed board, victim fill, victim run — so each worker runs
+// that prefix once, captures a copy-on-write snapshot, and restores it
+// per cell; only the Volt Boot tail re-runs. Rows come back in sweep
+// order regardless of scheduling, bit-identical to fresh-board cells.
 func ProbeCurrentSweep(seed uint64) (*ProbeSweepResult, error) {
 	return ProbeCurrentSweepCtx(context.Background(), seed)
 }
@@ -47,29 +50,37 @@ func ProbeCurrentSweep(seed uint64) (*ProbeSweepResult, error) {
 func ProbeCurrentSweepCtx(ctx context.Context, seed uint64) (*ProbeSweepResult, error) {
 	spec := soc.BCM2711()
 	limits := []float64{0.1, 0.25, 0.5, 1.0, 2.0, 2.4, 2.6, 3.0, 3.5, 4.0}
-	rows, err := runner.MapCtx(ctx, len(limits), runtime.GOMAXPROCS(0), func(i int) (ProbeSweepRow, error) {
-		amps := limits[i]
+	type fork struct {
+		b     *board.Board
+		truth []byte
+		snap  *board.Snapshot
+	}
+	mk := func() (*fork, error) {
 		b, _, err := newTrialBoard(spec, soc.Options{}, seed)
 		if err != nil {
-			return ProbeSweepRow{}, err
+			return nil, err
 		}
 		victim, err := core.VictimPatternFillImage(0x100000, 2048, 0x5A)
 		if err != nil {
-			return ProbeSweepRow{}, err
+			return nil, err
 		}
 		if err := core.RunVictim(b, victim, 50_000_000); err != nil {
-			return ProbeSweepRow{}, err
+			return nil, err
 		}
-		truth := b.SoC.Cores[0].L1D.DumpWay(0)
+		return &fork{b: b, truth: b.SoC.Cores[0].L1D.DumpWay(0), snap: b.CaptureSnapshot()}, nil
+	}
+	rows, err := runner.MapWithResource(ctx, len(limits), runtime.GOMAXPROCS(0), mk, func(f *fork, i int) (ProbeSweepRow, error) {
+		amps := limits[i]
+		f.b.RestoreSnapshot(f.snap)
 		cfg := core.DefaultAttackConfig()
 		cfg.Probe.MaxAmps = amps
-		ext, err := core.VoltBootCaches(b, cfg)
+		ext, err := core.VoltBootCaches(f.b, cfg)
 		if err != nil {
 			return ProbeSweepRow{}, err
 		}
 		return ProbeSweepRow{
 			ProbeAmps:         amps,
-			RetentionAccuracy: analysis.RetentionAccuracy(truth, ext.Dumps[0].L1D[0]),
+			RetentionAccuracy: analysis.RetentionAccuracy(f.truth, ext.Dumps[0].L1D[0]),
 		}, nil
 	})
 	if err != nil {
@@ -118,9 +129,14 @@ func RetentionSweepOffTimes() []sim.Time {
 
 // RetentionSweep measures a 64 KB SRAM array's retention across the
 // default temperature/off-time grid. The grid is flattened to temp-major
-// index order and fanned across CPUs: every cell owns a private quiet
-// environment and a same-seed array, so the table is identical to the
-// serial nested loop it replaces.
+// index order and fanned across CPUs. Every cell needs the same-seed
+// array powered and filled with 0xA5 — and SRAM physics reads the
+// ambient temperature only when a rail drops (sram decay clocks), never
+// at power-up or fill — so each worker builds and fills the array once,
+// captures an ArraySnapshot, and per cell restores it, rewinds the
+// clock to the capture instant at the cell's temperature, and replays
+// only the outage. The table is bit-identical to the
+// array-per-cell nested loop it replaces.
 func RetentionSweep(seed uint64) *RetentionSweepResult {
 	// Background context + default grid cannot fail.
 	res, _ := RetentionSweepGridCtx(context.Background(), seed, RetentionSweepTemps(), RetentionSweepOffTimes())
@@ -134,22 +150,32 @@ func RetentionSweep(seed uint64) *RetentionSweepResult {
 // which cells exist, never the silicon inside one.
 func RetentionSweepGridCtx(ctx context.Context, seed uint64, temps []float64, offTimes []sim.Time) (*RetentionSweepResult, error) {
 	res := &RetentionSweepResult{Temps: temps, OffTimes: offTimes}
-	cells, err := runner.MapCtx(ctx, len(res.Temps)*len(res.OffTimes), runtime.GOMAXPROCS(0), func(i int) (RetentionSweepCell, error) {
-		tempC := res.Temps[i/len(res.OffTimes)]
-		off := res.OffTimes[i%len(res.OffTimes)]
+	type fork struct {
+		env    *sim.Env
+		arr    *sram.Array
+		before []byte
+		snap   *sram.ArraySnapshot
+		t0     sim.Time
+	}
+	mk := func() (*fork, error) {
 		env := sim.NewQuietEnv()
-		env.SetTemperatureC(tempC)
 		arr := sram.NewArray(env, "sweep", 64*1024*8, sram.DefaultRetentionModel(), seed)
 		arr.SetRail(0.8)
 		arr.Fill(0xA5)
-		before := arr.Snapshot()
-		arr.SetRail(0)
-		env.Advance(off)
-		arr.SetRail(0.8)
+		return &fork{env: env, arr: arr, before: arr.Snapshot(), snap: arr.CaptureSnapshot(), t0: env.Now()}, nil
+	}
+	cells, err := runner.MapWithResource(ctx, len(res.Temps)*len(res.OffTimes), runtime.GOMAXPROCS(0), mk, func(f *fork, i int) (RetentionSweepCell, error) {
+		tempC := res.Temps[i/len(res.OffTimes)]
+		off := res.OffTimes[i%len(res.OffTimes)]
+		f.arr.RestoreSnapshot(f.snap)
+		f.env.Rewind(f.t0, tempC)
+		f.arr.SetRail(0)
+		f.env.Advance(off)
+		f.arr.SetRail(0.8)
 		return RetentionSweepCell{
 			TempC:     tempC,
 			OffTime:   off,
-			Retention: analysis.RetentionAccuracy(before, arr.Snapshot()),
+			Retention: analysis.RetentionAccuracy(f.before, f.arr.Snapshot()),
 		}, nil
 	})
 	if err != nil {

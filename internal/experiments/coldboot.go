@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/board"
 	"repro/internal/core"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -41,11 +42,15 @@ type Table1Result struct {
 // BCM2711 core with a known pattern, soak at each temperature, power
 // cycle for a few milliseconds with no probe, extract, and measure error.
 //
-// Each temperature column is a fully independent trial — a fresh board is
-// built from the same seed, so the cold silicon is identical in every
-// column — and the columns fan out across CPUs via runner.Map. Results
-// are assembled in temperature order, so the rendered table is
-// byte-identical to a serial run (TestTable1DeterministicAcrossWorkers).
+// The three temperature columns share an identical prefix — same-seed
+// board, victim fill, 50M-instruction victim run — and diverge only at
+// the chamber soak. Each worker therefore builds one board, runs the
+// prefix once, and captures a copy-on-write snapshot
+// (board.CaptureSnapshot); each column restores the snapshot in O(dirty
+// pages) and runs only the cold boot tail. Results are assembled in
+// temperature order and the snapshot restore is bit-exact, so the
+// rendered table is byte-identical to the fresh-board-per-column code it
+// replaces (TestTable1DeterministicAcrossWorkers and the golden pin).
 func Table1(seed uint64) (*Table1Result, error) {
 	return Table1Ctx(context.Background(), seed)
 }
@@ -68,27 +73,38 @@ func Table1Ctx(ctx context.Context, seed uint64) (*Table1Result, error) {
 		fracHDToStartup float64
 		hasFracHD       bool
 	}
-	cells, err := runner.MapCtx(ctx, len(temps), runtime.GOMAXPROCS(0), func(i int) (cell, error) {
-		tc := temps[i]
-		b, env, err := newTrialBoard(soc.BCM2711(), soc.Options{}, seed)
+	type fork struct {
+		b     *board.Board
+		truth [][][]byte
+		snap  *board.Snapshot
+	}
+	mk := func() (*fork, error) {
+		b, _, err := newTrialBoard(soc.BCM2711(), soc.Options{}, seed)
 		if err != nil {
-			return cell{}, err
+			return nil, err
 		}
 		spec := b.Spec()
 		victim, err := core.VictimPatternFillImage(0x100000, spec.L1D.SizeBytes/8, 0xA5)
 		if err != nil {
-			return cell{}, err
+			return nil, err
 		}
 		if err := core.RunVictim(b, victim, 50_000_000); err != nil {
-			return cell{}, err
+			return nil, err
 		}
-		// Capture the stored truth before the power cycle destroys it.
+		// Capture the stored truth before any power cycle destroys it; the
+		// dumps are private copies, immune to the restores that follow.
 		truth := make([][][]byte, spec.Cores)
 		for c, cc := range b.SoC.Cores {
 			for w := 0; w < spec.L1D.Ways; w++ {
 				truth[c] = append(truth[c], cc.L1D.DumpWay(w))
 			}
 		}
+		return &fork{b: b, truth: truth, snap: b.CaptureSnapshot()}, nil
+	}
+	cells, err := runner.MapWithResource(ctx, len(temps), runtime.GOMAXPROCS(0), mk, func(f *fork, i int) (cell, error) {
+		tc := temps[i]
+		f.b.RestoreSnapshot(f.snap)
+		b, spec := f.b, f.b.Spec()
 		ext, err := core.ColdBootCaches(b, tc.c, 5*sim.Millisecond, 50_000_000)
 		if err != nil {
 			return cell{}, err
@@ -97,7 +113,7 @@ func Table1Ctx(ctx context.Context, seed uint64) (*Table1Result, error) {
 		for c, dump := range ext.Dumps {
 			var hds []float64
 			for w, way := range dump.L1D {
-				hds = append(hds, analysis.FractionalHD(truth[c][w], way))
+				hds = append(hds, analysis.FractionalHD(f.truth[c][w], way))
 			}
 			out.row.PerCoreErrorPct = append(out.row.PerCoreErrorPct, analysis.Mean(hds)*100)
 		}
@@ -109,7 +125,7 @@ func Table1Ctx(ctx context.Context, seed uint64) (*Table1Result, error) {
 			arr := b.SoC.Cores[0].L1D.Arrays()[0]
 			after := arr.Snapshot()
 			arr.SetRail(0)
-			env.Advance(500 * sim.Millisecond)
+			b.Env.Advance(500 * sim.Millisecond)
 			arr.SetRail(spec.CoreVolts)
 			fingerprint := arr.Snapshot()
 			out.fracHDToStartup = analysis.FractionalHD(after, fingerprint)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/kernel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/soc"
 	"repro/internal/vimg"
@@ -29,11 +30,15 @@ type Figure7Result struct {
 	ASCII string
 }
 
-// Figure7 runs the §7.1.1 experiment on both Broadcom SoCs.
+// Figure7 runs the §7.1.1 experiment on both Broadcom SoCs. The two
+// devices are fully independent trials — each builds its own quiet-env
+// board — so they fan out across CPUs; results come back in device
+// order, keeping the rendered panels byte-identical to the serial loop.
 func Figure7(seed uint64) ([]*Figure7Result, error) {
-	var out []*Figure7Result
-	for _, spec := range []soc.DeviceSpec{soc.BCM2711(), soc.BCM2837()} {
-		b, _, err := newBoard(spec, soc.Options{}, seed)
+	specs := []soc.DeviceSpec{soc.BCM2711(), soc.BCM2837()}
+	return runner.Map(len(specs), func(si int) (*Figure7Result, error) {
+		spec := specs[si]
+		b, _, err := newTrialBoard(spec, soc.Options{}, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -82,9 +87,8 @@ func Figure7(seed uint64) ([]*Figure7Result, error) {
 			res.NOPFraction = append(res.NOPFraction, float64(nops)/float64(total))
 		}
 		res.ASCII = vimg.ASCIIDensity(ext.Dumps[0].L1I[0], 64, 8)
-		out = append(out, res)
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
 // String renders one Figure 7 panel.
@@ -250,93 +254,115 @@ func elemValue(coreID, i int) []byte {
 // 16 and 32 KB staged through a page-cache copy, re-read under kernel
 // noise, then extracted with Volt Boot; element recovery is counted per
 // way. Three repetitions per size are averaged, matching footnote 5.
+//
+// Every (size, repetition) pair derives its own seed, so the 12 cells
+// share no prefix to fork — instead they are fully independent boards
+// and fan out across CPUs as a flat grid. Per-cell tallies come back in
+// (size-major, rep-minor) index order and are averaged serially, so the
+// rendered table is byte-identical to the nested serial loops it
+// replaces.
 func Table4(seed uint64) (*Table4Result, error) {
 	spec := soc.BCM2711()
 	res := &Table4Result{SizesKB: []int{4, 8, 16, 32}, Cores: spec.Cores, Reps: 3}
-	for _, sizeKB := range res.SizesKB {
+	// tally is one repetition's per-core (W0, W1, union) hit counts.
+	type tally struct {
+		in0, in1, inU []int
+	}
+	cells, err := runner.Map(len(res.SizesKB)*res.Reps, func(idx int) (tally, error) {
+		sizeKB := res.SizesKB[idx/res.Reps]
+		rep := idx % res.Reps
 		n := sizeKB * 1024 / 8
-		// accumulate per core across reps
-		w0s := make([][]int, spec.Cores)
-		w1s := make([][]int, spec.Cores)
-		unions := make([][]int, spec.Cores)
-		for rep := 0; rep < res.Reps; rep++ {
-			repSeed := seed + uint64(sizeKB)*1000 + uint64(rep)
-			b, _, err := newBoard(spec, soc.Options{}, repSeed)
+		repSeed := seed + uint64(sizeKB)*1000 + uint64(rep)
+		b, _, err := newTrialBoard(spec, soc.Options{}, repSeed)
+		if err != nil {
+			return tally{}, err
+		}
+		if err := b.SoC.Boot(nil); err != nil {
+			return tally{}, err
+		}
+		k := kernel.New(b.SoC, kernel.DefaultConfig(repSeed))
+		// One benchmark process per core (footnote 6).
+		for c := 0; c < spec.Cores; c++ {
+			cc := b.SoC.Cores[c]
+			cc.L1D.InvalidateAll()
+			cc.L1I.InvalidateAll()
+			cc.L1D.SetEnabled(true)
+			cc.L1I.SetEnabled(true)
+			data := make([]byte, n*8)
+			for i := 0; i < n; i++ {
+				copy(data[i*8:], elemValue(c, i))
+			}
+			if err := k.StageFile(c, 0x180000, 0x100000, data); err != nil {
+				return tally{}, err
+			}
+			prog, err := kernel.ArrayBenchmarkProgram(soc.PayloadBase, 0x100000, n, 30)
 			if err != nil {
-				return nil, err
+				return tally{}, err
 			}
-			if err := b.SoC.Boot(nil); err != nil {
-				return nil, err
+			for i, w := range prog {
+				b.SoC.WriteDRAM(int(soc.PayloadBase)+i*4,
+					[]byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)})
 			}
-			k := kernel.New(b.SoC, kernel.DefaultConfig(repSeed))
-			// One benchmark process per core (footnote 6).
-			for c := 0; c < spec.Cores; c++ {
-				cc := b.SoC.Cores[c]
-				cc.L1D.InvalidateAll()
-				cc.L1I.InvalidateAll()
-				cc.L1D.SetEnabled(true)
-				cc.L1I.SetEnabled(true)
-				data := make([]byte, n*8)
-				for i := 0; i < n; i++ {
-					copy(data[i*8:], elemValue(c, i))
-				}
-				if err := k.StageFile(c, 0x180000, 0x100000, data); err != nil {
-					return nil, err
-				}
-				prog, err := kernel.ArrayBenchmarkProgram(soc.PayloadBase, 0x100000, n, 30)
-				if err != nil {
-					return nil, err
-				}
-				for i, w := range prog {
-					b.SoC.WriteDRAM(int(soc.PayloadBase)+i*4,
-						[]byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)})
-				}
-				cc.CPU.Reset(soc.PayloadBase)
-				if err := k.RunWithNoise(c, 100_000_000); err != nil {
-					return nil, err
-				}
-			}
-			ext, err := core.VoltBootCaches(b, core.DefaultAttackConfig())
-			if err != nil {
-				return nil, err
-			}
-			for c := 0; c < spec.Cores; c++ {
-				// Index each way dump once; per-element membership is then a
-				// hash probe. Contains(e) ≡ CountAlignedOccurrences(d, e) > 0,
-				// so the per-way and union tallies are unchanged.
-				d0 := analysis.NewAlignedElementSet(ext.Dumps[c].L1D[0], 8)
-				d1 := analysis.NewAlignedElementSet(ext.Dumps[c].L1D[1], 8)
-				var in0, in1, inU int
-				for i := 0; i < n; i++ {
-					e := elemValue(c, i)
-					f0 := d0.Contains(e)
-					f1 := d1.Contains(e)
-					if f0 {
-						in0++
-					}
-					if f1 {
-						in1++
-					}
-					if f0 || f1 {
-						inU++
-					}
-				}
-				w0s[c] = append(w0s[c], in0)
-				w1s[c] = append(w1s[c], in1)
-				unions[c] = append(unions[c], inU)
+			cc.CPU.Reset(soc.PayloadBase)
+			if err := k.RunWithNoise(c, 100_000_000); err != nil {
+				return tally{}, err
 			}
 		}
-		var cells []Table4Cell
+		ext, err := core.VoltBootCaches(b, core.DefaultAttackConfig())
+		if err != nil {
+			return tally{}, err
+		}
+		t := tally{
+			in0: make([]int, spec.Cores),
+			in1: make([]int, spec.Cores),
+			inU: make([]int, spec.Cores),
+		}
 		for c := 0; c < spec.Cores; c++ {
+			// Index each way dump once; per-element membership is then a
+			// hash probe. Contains(e) ≡ CountAlignedOccurrences(d, e) > 0,
+			// so the per-way and union tallies are unchanged.
+			d0 := analysis.NewAlignedElementSet(ext.Dumps[c].L1D[0], 8)
+			d1 := analysis.NewAlignedElementSet(ext.Dumps[c].L1D[1], 8)
+			for i := 0; i < n; i++ {
+				e := elemValue(c, i)
+				f0 := d0.Contains(e)
+				f1 := d1.Contains(e)
+				if f0 {
+					t.in0[c]++
+				}
+				if f1 {
+					t.in1[c]++
+				}
+				if f0 || f1 {
+					t.inU[c]++
+				}
+			}
+		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sizeKB := range res.SizesKB {
+		n := sizeKB * 1024 / 8
+		var row []Table4Cell
+		for c := 0; c < spec.Cores; c++ {
+			var w0s, w1s, unions []int
+			for rep := 0; rep < res.Reps; rep++ {
+				t := cells[si*res.Reps+rep]
+				w0s = append(w0s, t.in0[c])
+				w1s = append(w1s, t.in1[c])
+				unions = append(unions, t.inU[c])
+			}
 			cell := Table4Cell{
-				W0:    meanInts(w0s[c]),
-				W1:    meanInts(w1s[c]),
-				Union: meanInts(unions[c]),
+				W0:    meanInts(w0s),
+				W1:    meanInts(w1s),
+				Union: meanInts(unions),
 			}
 			cell.ExtractedPct = cell.Union / float64(n) * 100
-			cells = append(cells, cell)
+			row = append(row, cell)
 		}
-		res.Cells = append(res.Cells, cells)
+		res.Cells = append(res.Cells, row)
 	}
 	return res, nil
 }

@@ -251,6 +251,18 @@ func (c *CPU) Step() error {
 		word = w
 		in = Decode(word)
 	}
+	return c.ExecDecoded(in, word)
+}
+
+// ExecDecoded executes one already-fetched-and-decoded instruction: the
+// execute-and-retire half of Step, split out so a dispatcher that serves
+// decoded instructions from its own cache (the SoC's superblock runner)
+// can drive the core without a per-instruction fetch call. The word
+// feeds the undefined-instruction diagnostics, exactly as in Step.
+// Callers are responsible for the Halted check Step performs.
+//
+//voltvet:hotpath
+func (c *CPU) ExecDecoded(in Instr, word uint32) error {
 	next := c.PC + 4
 
 	switch in.Op {

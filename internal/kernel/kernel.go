@@ -155,7 +155,7 @@ func (k *Kernel) RunWithNoise(core int, maxInstr uint64) error {
 		if done+n > maxInstr {
 			n = maxInstr - done
 		}
-		ran, err := runQuantum(cpu, n)
+		ran, err := k.soc.RunCoreQuantum(core, n)
 		done += ran
 		if err != nil {
 			return fmt.Errorf("kernel: core %d at instruction %d: %w", core, done, err)
@@ -171,18 +171,6 @@ func (k *Kernel) RunWithNoise(core int, maxInstr uint64) error {
 		return fmt.Errorf("kernel: core %d did not halt within %d instructions", core, maxInstr)
 	}
 	return nil
-}
-
-// runQuantum steps the CPU up to n instructions, tolerating the halt.
-func runQuantum(cpu *isa.CPU, n uint64) (uint64, error) {
-	var ran uint64
-	for ran < n && !cpu.Halted {
-		if err := cpu.Step(); err != nil {
-			return ran, err
-		}
-		ran++
-	}
-	return ran, nil
 }
 
 // ArrayBenchmarkProgram assembles the §7.1.2 microbenchmark: it re-reads

@@ -57,7 +57,7 @@ func BenchmarkOSWorkloadIPS(b *testing.B) {
 		if done+q > uint64(b.N) {
 			q = uint64(b.N) - done
 		}
-		ran, err := runQuantum(cpu, q)
+		ran, err := s.RunCoreQuantum(core, q)
 		done += ran
 		if err != nil {
 			b.Fatal(err)

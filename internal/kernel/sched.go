@@ -134,7 +134,7 @@ func (sc *Scheduler) Run(maxInstr uint64) (int, error) {
 		idx = next
 		sc.Current = next
 
-		ran, err := runQuantum(cpu, sc.quantum)
+		ran, err := sc.soc.RunCoreQuantum(sc.core, sc.quantum)
 		total += ran
 		p.Instret += ran
 		if err != nil {

@@ -95,8 +95,11 @@ func TestDeterministicImportGraph(t *testing.T) {
 // analyzer covers, pinned so that annotation drift is loud. The set
 // must contain, at minimum, the full dynamic call chain exercised by
 // TestStepSteadyStateZeroAlloc in internal/soc: CPU.Step down through
-// SoC memory access into the cache and SRAM word paths.
+// SoC memory access into the cache and SRAM word paths, plus the
+// superblock dispatch fast path and the snapshot mark/restore paths
+// that sit on the per-trial critical path of the sweep runners.
 var hotpathChain = []string{
+	"(*repro/internal/isa.CPU).ExecDecoded",
 	"(*repro/internal/isa.CPU).Step",
 	"(*repro/internal/soc.SoC).FetchDecoded",
 	"(*repro/internal/soc.SoC).Load",
@@ -104,6 +107,7 @@ var hotpathChain = []string{
 	"(*repro/internal/soc.SoC).access",
 	"(*repro/internal/soc.SoC).installPredec",
 	"(*repro/internal/soc.SoC).predecGen",
+	"(*repro/internal/soc.SoC).runSuperblock",
 	"(*repro/internal/soc.SoC).updateHistoryBuffers",
 	"(*repro/internal/soc.RegFile).ReadX",
 	"(*repro/internal/soc.RegFile).WriteX",
@@ -113,12 +117,20 @@ var hotpathChain = []string{
 	"(*repro/internal/cache.Cache).bypass",
 	"(*repro/internal/cache.Cache).index",
 	"(*repro/internal/cache.Cache).lookup",
+	"(*repro/internal/cache.Cache).markDirty",
+	"(*repro/internal/cache.Cache).memoStore",
 	"(*repro/internal/cache.Cache).touch",
+	"(*repro/internal/dram.Module).markRange",
+	"(*repro/internal/dram.Module).markSnapRange",
+	"(*repro/internal/dram.Module).resolveRange",
 	"(*repro/internal/sram.Array).ReadBytesInto",
 	"(*repro/internal/sram.Array).ReadUint64",
 	"(*repro/internal/sram.Array).ReadUintN",
+	"(*repro/internal/sram.Array).RestoreSnapshot",
+	"(*repro/internal/sram.Array).SnapshotInto",
 	"(*repro/internal/sram.Array).WriteUint64",
 	"(*repro/internal/sram.Array).WriteUintN",
+	"(*repro/internal/sram.Array).markSnapPages",
 }
 
 // TestHotpathAgreement keeps the static //voltvet:hotpath annotations

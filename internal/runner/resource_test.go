@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapWithResourceMatchesSerial: results are index-ordered and
+// identical across worker counts when fn depends only on (resource
+// state, i) — the resource-interchangeability invariant.
+func TestMapWithResourceMatchesSerial(t *testing.T) {
+	const n = 37
+	run := func(workers int) []int {
+		out, err := MapWithResource(context.Background(), n, workers,
+			func() (int, error) { return 1000, nil },
+			func(base, i int) (int, error) { return base + i*i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapWithResourceBuildsOncePerWorker: mk runs at most `workers`
+// times (and exactly once on the serial path).
+func TestMapWithResourceBuildsOncePerWorker(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var builds atomic.Int64
+		_, err := MapWithResource(context.Background(), 32, workers,
+			func() (int, error) { builds.Add(1); return 0, nil },
+			func(_, i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := builds.Load(); b > int64(workers) {
+			t.Errorf("workers=%d: mk ran %d times, want at most %d", workers, b, workers)
+		}
+		if workers == 1 && builds.Load() != 1 {
+			t.Errorf("serial path: mk ran %d times, want 1", builds.Load())
+		}
+	}
+}
+
+// TestMapWithResourceErrors: a trial error surfaces with its index; a
+// mk error surfaces as a resource error.
+func TestMapWithResourceErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapWithResource(context.Background(), 8, 4,
+		func() (int, error) { return 0, nil },
+		func(_, i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "trial 3") {
+		t.Fatalf("err = %v, want trial 3 boom", err)
+	}
+
+	_, err = MapWithResource(context.Background(), 8, 4,
+		func() (int, error) { return 0, fmt.Errorf("no board: %w", boom) },
+		func(_, i int) (int, error) { return i, nil })
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "resource") {
+		t.Fatalf("err = %v, want resource error", err)
+	}
+}
+
+// TestMapWithResourceCancelled: a pre-cancelled context wins over
+// everything and mk never runs.
+func TestMapWithResourceCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var builds atomic.Int64
+	_, err := MapWithResource(ctx, 8, 4,
+		func() (int, error) { builds.Add(1); return 0, nil },
+		func(_, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if builds.Load() != 0 {
+		t.Errorf("mk ran %d times on a cancelled context", builds.Load())
+	}
+}

@@ -87,6 +87,17 @@ func (e *Env) Advance(d Time) {
 	e.now += d
 }
 
+// Rewind sets the clock and temperature to a previously observed point,
+// bypassing Advance's forward-only invariant. It exists solely for
+// snapshot restores (see soc.Snapshot): a restored trial re-lives the
+// interval after the fork, so the clock legitimately runs backwards to
+// the capture instant. The change is deliberately unlogged — restores
+// happen on quiet trial environments and must not perturb event streams.
+func (e *Env) Rewind(now Time, tempC float64) {
+	e.now = now
+	e.tempC = tempC
+}
+
 // TemperatureC returns the ambient temperature in degrees Celsius.
 func (e *Env) TemperatureC() float64 { return e.tempC }
 

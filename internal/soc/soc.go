@@ -86,6 +86,12 @@ type Core struct {
 	// retention physics, and is invalidated wholesale by generation
 	// bumps rather than being snooped.
 	predec [predecEntries]predecEntry
+
+	// sblocks is the per-core superblock cache built over predec: straight-
+	// line runs executed as a unit with validation hoisted to block entry
+	// (see superblock.go). Lazily allocated by RunCoreQuantum; derived
+	// state with the same invalidation story as predec.
+	sblocks []sblock
 }
 
 // TLB/BTB geometry: entry counts are powers of two, 8 bytes per entry.
@@ -478,13 +484,21 @@ func (s *SoC) allArrays() []*sram.Array {
 	return out
 }
 
-// RunCore executes core id until it halts or maxInstr retire.
+// RunCore executes core id until it halts or maxInstr retire, through
+// the superblock dispatcher. Like isa.CPU.Run it returns a RunawayError
+// if the budget is exhausted without a halt.
 func (s *SoC) RunCore(id int, maxInstr uint64) error {
 	if id < 0 || id >= len(s.Cores) {
 		return fmt.Errorf("soc: core %d out of range", id)
 	}
-	_, err := s.Cores[id].CPU.Run(maxInstr)
-	return err
+	n, err := s.RunCoreQuantum(id, maxInstr)
+	if err != nil {
+		return err
+	}
+	if cpu := s.Cores[id].CPU; !cpu.Halted && n >= maxInstr {
+		return &isa.RunawayError{PC: cpu.PC, Max: maxInstr}
+	}
+	return nil
 }
 
 // RunAllCores executes every core in turn (the interpreter is in-order
@@ -492,7 +506,7 @@ func (s *SoC) RunCore(id int, maxInstr uint64) error {
 // is equivalent for them).
 func (s *SoC) RunAllCores(maxInstr uint64) error {
 	for _, c := range s.Cores {
-		if _, err := c.CPU.Run(maxInstr); err != nil {
+		if err := s.RunCore(c.ID, maxInstr); err != nil {
 			return fmt.Errorf("soc: core %d: %w", c.ID, err)
 		}
 	}

@@ -155,6 +155,21 @@ type Array struct {
 	gen uint64
 	// imprint is the lazily allocated aging overlay (see imprint.go).
 	imprint *imprintState
+	// snapDirty, when non-nil, is the armed copy-on-write page table:
+	// one bit per snapPageWords-word page, set by every write path that
+	// can change the page since the owning snapshot was captured (see
+	// snapshot.go). snapOwner identifies the snapshot the bitmap tracks
+	// against. Derived state, not physics.
+	snapDirty []uint64
+	snapOwner *ArraySnapshot
+	// m2Biased/m2Pref memoize phase A of the mode-2 batch kernel: the
+	// per-word biased-cell and preferred-value masks, pure functions of
+	// cellSeed and the neutral fraction (see mode2PhaseA). Built lazily
+	// on the first batched power event and immutable afterwards, so every
+	// later power-up or full-decay resample pays only the rng draws.
+	// Derived state, not physics.
+	m2Biased []uint64
+	m2Pref   []uint64
 	// scalarKernels forces the per-bit reference kernels instead of the
 	// word-vectorized ones. Both produce bit-identical state and consume
 	// the rng stream identically; the flag exists so the differential
@@ -246,6 +261,7 @@ func (a *Array) SetRail(volts float64) {
 	case !a.everPowered && isUp:
 		// First power-on of the die: whole array boots into fingerprint.
 		a.gen++
+		a.markSnapAll()
 		a.powerUpAll()
 		a.everPowered = true
 		a.decaying = false
@@ -261,6 +277,7 @@ func (a *Array) SetRail(volts float64) {
 		}
 	case !wasUp && isUp && a.decaying:
 		a.gen++
+		a.markSnapAll()
 		a.resolveDecay()
 		a.decaying = false
 	}
@@ -289,6 +306,7 @@ func (a *Array) checkAccess(op string) {
 func (a *Array) WriteBit(i int, v bool) {
 	a.checkAccess("WriteBit")
 	a.gen++
+	a.markSnapPages(i>>6, i>>6)
 	a.setBit(i, v)
 }
 
@@ -316,6 +334,7 @@ func (a *Array) WriteBytes(off int, b []byte) {
 		panic(fmt.Sprintf("sram: WriteBytes out of range on %s: off=%d len=%d size=%dB", a.name, off, len(b), a.Bytes()))
 	}
 	a.gen++
+	a.markSnapPages(off>>3, (off+len(b)-1)>>3)
 	i, j := 0, off
 	for ; i < len(b) && j&7 != 0; i++ { // head: reach word alignment
 		a.storeByte(j, b[i])
@@ -366,6 +385,7 @@ func (a *Array) WriteUint64(off int, v uint64) {
 		panic(fmt.Sprintf("sram: WriteUint64 out of range on %s: off=%d size=%dB", a.name, off, a.Bytes()))
 	}
 	a.gen++
+	a.markSnapPages(off>>3, (off+7)>>3)
 	w := off >> 3
 	shift := 8 * uint(off&7)
 	if shift == 0 {
@@ -414,6 +434,7 @@ func (a *Array) WriteUintN(off, size int, v uint64) {
 	}
 	v &= mask
 	a.gen++
+	a.markSnapPages(off>>3, (off+size-1)>>3)
 	w := off >> 3
 	shift := 8 * uint(off&7)
 	a.bits[w] = (a.bits[w] &^ (mask << shift)) | v<<shift
@@ -480,6 +501,7 @@ func (a *Array) ReadBytesInto(off int, dst []byte) {
 func (a *Array) Fill(v byte) {
 	a.checkAccess("Fill")
 	a.gen++
+	a.markSnapAll()
 	splat := uint64(v) * 0x0101010101010101
 	nbytes := a.Bytes()
 	nwords := nbytes / 8
@@ -503,7 +525,19 @@ func (a *Array) Gen() uint64 { return a.gen }
 // by experiments to compute ground truth; attack code goes through the
 // architectural interfaces instead.
 func (a *Array) Snapshot() []byte {
-	return a.ReadBytes(0, a.Bytes())
+	out := make([]byte, a.Bytes())
+	a.SnapshotInto(out)
+	return out
+}
+
+// SnapshotInto is the allocation-free form of Snapshot: it copies the
+// first len(dst) bytes of the array into dst word-at-a-time, so sweep
+// loops that fingerprint an array per trial can reuse one buffer instead
+// of allocating a fresh image each time.
+//
+//voltvet:hotpath
+func (a *Array) SnapshotInto(dst []byte) {
+	a.ReadBytesInto(0, dst)
 }
 
 // FractionOnes returns the fraction of 1 bits currently stored, counted

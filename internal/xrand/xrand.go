@@ -76,6 +76,30 @@ func Derive(seed uint64, label string) *Rand {
 	return New(h)
 }
 
+// State is a snapshot of a Rand's complete stream position: the four
+// xoshiro256** state words plus the Marsaglia spare-value carry. Restoring
+// it with SetState resumes the stream bit-for-bit, including the parity of
+// NormFloat64 pairs, which is what lets SoC snapshots replay a trial
+// identically to the boot that captured it.
+type State struct {
+	S         [4]uint64
+	HaveSpare bool
+	Spare     float64
+}
+
+// State captures the generator's current stream position.
+func (r *Rand) State() State {
+	return State{S: r.s, HaveSpare: r.haveSpare, Spare: r.spare}
+}
+
+// SetState rewinds (or fast-forwards) the generator to a previously
+// captured stream position.
+func (r *Rand) SetState(st State) {
+	r.s = st.S
+	r.haveSpare = st.HaveSpare
+	r.spare = st.Spare
+}
+
 // Uint64 returns the next 64 bits from the stream. bits.RotateLeft64 is a
 // compiler intrinsic that the inliner costs at ~1 node, which keeps this
 // whole function under the inlining budget — every hot sampling kernel

@@ -17,6 +17,10 @@ while [ -e "BENCH_${n}.json" ]; do
 	n=$((n + 1))
 done
 out="BENCH_${n}.json"
+if [ -e "$out" ]; then
+	echo "error: $out already exists; refusing to overwrite a recorded run" >&2
+	exit 1
+fi
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -33,10 +37,19 @@ echo "==> experiment benchmarks (-benchtime ${BENCHTIME})"
 go test -run '^$' -bench 'BenchmarkFigure7ColdBoot$|BenchmarkFigure8OSScenario$|BenchmarkTable4ArraySweep$' \
 	-benchtime "$BENCHTIME" ./internal/experiments/ | tee -a "$tmp"
 
+# The commit field is always the clean HEAD hash; working-tree state is
+# recorded separately so tooling can compare commits without parsing a
+# "-dirty" suffix out of the hash.
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+dirty=false
+if ! git diff-index --quiet HEAD -- 2>/dev/null; then
+	dirty=true
+fi
+
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-	-v commit="$(git describe --always --dirty 2>/dev/null || echo unknown)" '
+	-v commit="$commit" -v dirty="$dirty" '
 BEGIN {
-	printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchmarks\": [", date, commit
+	printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"dirty\": %s,\n  \"benchmarks\": [", date, commit, dirty
 	sep = ""
 }
 /^Benchmark/ {

@@ -22,8 +22,9 @@ echo "==> campaign service: full -race pass (queue, cache single-flight, cancell
 go test -race -count=1 ./internal/campaign/ ./internal/runner/ ./internal/api/
 
 echo "==> benchmark smoke (1 iteration)"
-go test -run '^$' -bench 'ResolveDecay|PowerUpAll|FractionalHD|FractionOnes' -benchtime 1x ./internal/sram/ ./internal/analysis/
+go test -run '^$' -bench 'ResolveDecay|PowerUpAll|FractionalHD|FractionOnes|SnapshotRestore' -benchtime 1x ./internal/sram/ ./internal/analysis/
 go test -run '^$' -bench 'CPUStep|CacheAccessHit|CacheAccessMiss|OSWorkloadIPS' -benchtime 1x ./internal/soc/ ./internal/cache/ ./internal/kernel/
+go test -run '^$' -bench 'Figure7ColdBoot|Figure8OSScenario' -benchtime 1x ./internal/experiments/
 
 echo "==> allocation-free fast-path gates"
 go test -run 'StepSteadyStateZeroAlloc' -count=1 ./internal/soc/
