@@ -28,7 +28,7 @@ func BenchmarkCampaignSubmitCached(b *testing.B) {
 		},
 	})
 	mgr := campaign.New(campaign.Config{Registry: reg, Workers: 4, QueueDepth: 1024})
-	ts := httptest.NewServer(New(mgr, reg))
+	ts := httptest.NewServer(New(mgr, reg, nil))
 	defer func() {
 		ts.Close()
 		_ = mgr.Drain(context.Background())
@@ -67,7 +67,7 @@ func BenchmarkCampaignSubmitCached(b *testing.B) {
 		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		if hdr := resp.Header.Get("X-Cache"); hdr != "hit" {
+		if hdr := resp.Header.Get("X-Cache"); hdr != "hit-mem" {
 			b.Fatalf("X-Cache = %q", hdr)
 		}
 	}

@@ -8,14 +8,28 @@
 //	POST   /v1/jobs                  submit a campaign (429 when the queue is full)
 //	GET    /v1/jobs                  list jobs
 //	GET    /v1/jobs/{id}             one job's status + progress counters
-//	GET    /v1/jobs/{id}/result      the deterministic result body (X-Cache: hit|miss)
+//	GET    /v1/jobs/{id}/result      the deterministic result body
 //	DELETE /v1/jobs/{id}             cancel
 //	GET    /v1/jobs/{id}/events      NDJSON progress stream, replay + live
+//	GET    /v1/ring                  fabric membership, peer states, stats
+//	POST   /v1/fabric/run            peer-to-peer forwarded-run intake
+//
+// Result responses carry X-Cache (hit-mem | hit-disk | miss | forward —
+// the worst tier across the job's runs) and a strong ETag (the quoted
+// hex SHA-256 of the body, computed once when the job finished). An
+// If-None-Match revalidation answers 304 without touching the body.
 //
 // POST bodies name runs either explicitly ("runs") or as a catalog sweep
 // ("match" + skip_slow). With "wait": true the request blocks until the
 // job finishes and the job is request-scoped: a client that disconnects
 // mid-wait cancels its job.
+//
+// The fabric routes exist only when New is given a fabric.Node (404
+// otherwise): /v1/ring is the readiness/compatibility probe peers poll,
+// and /v1/fabric/run executes one forwarded shard against the local
+// cache hierarchy — 200 with the record and its serving tier, 409 on a
+// catalog disagreement, 422 on a deterministic run failure, 503 while
+// draining (the sender hands the shard back).
 package api
 
 import (
@@ -23,8 +37,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/fabric"
 	"repro/internal/registry"
 )
 
@@ -34,14 +51,16 @@ const DefaultSeed uint64 = 0x5EED
 
 // Server is the http.Handler for the campaign service.
 type Server struct {
-	mgr *campaign.Manager
-	reg *registry.Registry
-	mux *http.ServeMux
+	mgr  *campaign.Manager
+	reg  *registry.Registry
+	node *fabric.Node // nil on a standalone node
+	mux  *http.ServeMux
 }
 
-// New wires the routes.
-func New(mgr *campaign.Manager, reg *registry.Registry) *Server {
-	s := &Server{mgr: mgr, reg: reg, mux: http.NewServeMux()}
+// New wires the routes. node may be nil for a standalone deployment;
+// the fabric routes then answer 404.
+func New(mgr *campaign.Manager, reg *registry.Registry, node *fabric.Node) *Server {
+	s := &Server{mgr: mgr, reg: reg, node: node, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -50,6 +69,8 @@ func New(mgr *campaign.Manager, reg *registry.Registry) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
+	s.mux.HandleFunc("POST /v1/fabric/run", s.handleFabricRun)
 	return s
 }
 
@@ -220,7 +241,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	body, cached, err := s.mgr.Result(id)
+	rb, err := s.mgr.Result(id)
 	switch {
 	case errors.Is(err, campaign.ErrNotFound):
 		writeError(w, http.StatusNotFound, err)
@@ -237,14 +258,82 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if cached {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
+	w.Header().Set("X-Cache", string(rb.Tier))
+	w.Header().Set("ETag", rb.ETag)
+	if etagMatch(r.Header.Get("If-None-Match"), rb.ETag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
 	}
+	// The stored bytes go out verbatim: no re-marshal, no chunking.
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(rb.Body)))
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(body)
+	_, _ = w.Write(rb.Body)
+}
+
+// etagMatch reports whether an If-None-Match header value matches the
+// entity tag (strong comparison; "*" matches anything).
+func etagMatch(inm, etag string) bool {
+	if inm == "" || etag == "" {
+		return false
+	}
+	if inm == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		if strings.TrimSpace(cand) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// handleRing is the fabric readiness/compatibility probe.
+func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) {
+	if s.node == nil {
+		writeError(w, http.StatusNotFound, errors.New("fabric not configured"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.node.Status())
+}
+
+// handleFabricRun executes one forwarded shard for a peer.
+func (s *Server) handleFabricRun(w http.ResponseWriter, r *http.Request) {
+	if s.node == nil {
+		writeError(w, http.StatusNotFound, errors.New("fabric not configured"))
+		return
+	}
+	if fp := r.Header.Get(fabric.HeaderFingerprint); fp != "" && fp != s.node.Fingerprint() {
+		writeError(w, http.StatusConflict, errors.New("catalog fingerprint mismatch"))
+		return
+	}
+	var req fabric.ForwardRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad forward body: %w", err))
+		return
+	}
+	rec, tier, err := s.node.ServeForwarded(r.Context(), req)
+	var bad *fabric.BadForwardError
+	switch {
+	case errors.Is(err, fabric.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.As(err, &bad):
+		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		// The run executed here and failed deterministically; the sender
+		// propagates this instead of retrying elsewhere.
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("X-Cache", string(tier))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(rec)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(rec)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -51,7 +51,7 @@ func newTestServer(t *testing.T, workers, queueDepth int) (*httptest.Server, *ca
 		},
 	)
 	mgr := campaign.New(campaign.Config{Registry: reg, Workers: workers, QueueDepth: queueDepth})
-	ts := httptest.NewServer(New(mgr, reg))
+	ts := httptest.NewServer(New(mgr, reg, nil))
 	t.Cleanup(func() {
 		release()
 		ts.Close()
@@ -176,7 +176,7 @@ func TestEndToEnd(t *testing.T) {
 
 // TestCacheHitHTTP: the second identical submission returns a
 // byte-identical body, the job is marked cached:true, and the result
-// carries X-Cache: hit.
+// carries X-Cache: hit-mem plus a strong ETag that revalidates to 304.
 func TestCacheHitHTTP(t *testing.T) {
 	ts, _, _ := newTestServer(t, 2, 8)
 
@@ -203,11 +203,44 @@ func TestCacheHitHTTP(t *testing.T) {
 		t.Fatal("second job not marked cached:true")
 	}
 	respR, r2 := get(t, ts.URL+"/v1/jobs/"+st2.ID+"/result")
-	if got := respR.Header.Get("X-Cache"); got != "hit" {
-		t.Fatalf("X-Cache = %q, want hit", got)
+	if got := respR.Header.Get("X-Cache"); got != "hit-mem" {
+		t.Fatalf("X-Cache = %q, want hit-mem", got)
 	}
 	if !bytes.Equal(r1, r2) {
 		t.Fatalf("cached body differs:\n%s\nvs\n%s", r1, r2)
+	}
+
+	// The strong ETag revalidates: If-None-Match answers 304 with no body.
+	etag := respR.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("missing strong ETag: %q", etag)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st2.ID+"/result", nil)
+	req.Header.Set("If-None-Match", etag)
+	cresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbody, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusNotModified || len(cbody) != 0 {
+		t.Fatalf("If-None-Match: %d with %d body bytes, want 304 empty", cresp.StatusCode, len(cbody))
+	}
+	if got := cresp.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag = %q, want %q", got, etag)
+	}
+
+	// A stale tag misses revalidation and gets the full body again.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+st2.ID+"/result", nil)
+	req2.Header.Set("If-None-Match", `"deadbeef"`)
+	sresp, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK || !bytes.Equal(sbody, r2) {
+		t.Fatalf("stale If-None-Match: %d, body match %v", sresp.StatusCode, bytes.Equal(sbody, r2))
 	}
 }
 

@@ -31,11 +31,28 @@ func CacheKey(experiment string, seed uint64, canonicalParams string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// cacheEntry is one key's slot: pending while a leader simulates,
-// complete (rec or err) afterwards, or aborted when the leader was
-// cancelled before finishing. done closes exactly once, on completion or
-// abort; an aborted entry is already unlinked from the map, so a waiter
-// that observes it retries and may become the next leader.
+// Tier identifies which layer of the cache hierarchy served a run.
+// These are the values the HTTP layer exposes in X-Cache.
+type Tier string
+
+const (
+	// TierMem: served from the in-memory result cache (including
+	// coalescing onto an in-flight leader).
+	TierMem Tier = "hit-mem"
+	// TierDisk: served from the disk store and promoted to memory.
+	TierDisk Tier = "hit-disk"
+	// TierMiss: simulated by this node.
+	TierMiss Tier = "miss"
+	// TierForward: executed by a fabric peer that owns the key.
+	TierForward Tier = "forward"
+)
+
+// cacheEntry is one key's slot in the in-memory result cache: pending
+// while a leader simulates, complete (rec or err) afterwards, or
+// aborted when the leader was cancelled before finishing. done closes
+// exactly once, on completion or abort; an aborted entry is already
+// unlinked from the map, so a waiter that observes it retries and may
+// become the next leader.
 type cacheEntry struct {
 	done    chan struct{}
 	rec     json.RawMessage
@@ -45,9 +62,9 @@ type cacheEntry struct {
 
 // RunRecord is the deterministic per-run result record. It contains only
 // content derived from the run's inputs and outputs — no job IDs, no
-// timestamps — so identical keys marshal to identical bytes, which is
-// what makes the cache's byte-identical-replay guarantee checkable from
-// the outside.
+// timestamps, no node identity — so identical keys marshal to identical
+// bytes on every node of the fabric, which is what makes the cache's
+// byte-identical-replay guarantee checkable from the outside.
 type RunRecord struct {
 	Experiment string            `json:"experiment"`
 	Seed       uint64            `json:"seed"`
@@ -66,54 +83,116 @@ type ArtifactRecord struct {
 	Data   []byte `json:"data"`
 }
 
-// executeRun serves run i of job j from the cache, coalesces onto an
-// in-flight execution of the same key, or becomes the leader and
-// simulates. cached is true when this job did not simulate the run
-// itself.
-func (m *Manager) executeRun(j *job, i int) (rec json.RawMessage, cached bool, err error) {
-	key := j.keys[i]
+// ResolveRun validates one run against the registry and returns it with
+// params in canonical form plus its content-address cache key. This is
+// the same resolution Submit applies; the fabric intake handler uses it
+// to verify a forwarded run before executing it.
+func (m *Manager) ResolveRun(rs RunSpec) (RunSpec, string, error) {
+	exp, ok := m.reg.Lookup(rs.Experiment)
+	if !ok {
+		return RunSpec{}, "", fmt.Errorf("campaign: unknown experiment %q", rs.Experiment)
+	}
+	params, canon, err := exp.Resolve(rs.Params)
+	if err != nil {
+		return RunSpec{}, "", err
+	}
+	return RunSpec{Experiment: rs.Experiment, Seed: rs.Seed, Params: params},
+		CacheKey(rs.Experiment, rs.Seed, canon), nil
+}
+
+// ServeRun executes one resolved run through the local cache hierarchy:
+// memory hit → disk hit → compute, with single-flight coalescing across
+// the whole promotion path (concurrent identical keys share one disk
+// probe and at most one simulation). It never forwards — by the time a
+// run reaches ServeRun, this node is its executor — so fabric membership
+// disagreements can never produce a forwarding loop.
+//
+// rs must be resolved (params canonical) and key must be its CacheKey;
+// Submit and the fabric intake both guarantee this.
+func (m *Manager) ServeRun(ctx context.Context, rs RunSpec, key string) (json.RawMessage, Tier, error) {
 	for {
 		m.mu.Lock()
-		e := m.cache[key]
-		if e == nil {
-			// Leader: claim the key, simulate outside the lock.
-			e = &cacheEntry{done: make(chan struct{})}
-			m.cache[key] = e
+		if e := m.cache[key]; e != nil {
 			m.mu.Unlock()
-
-			rec, err := m.computeRun(j.ctx, j.spec[i], key)
-
-			m.mu.Lock()
-			if err != nil && (j.ctx.Err() != nil || errors.Is(err, context.Canceled)) {
-				// Cancelled mid-run: the result never materialized, so the
-				// key must not be poisoned. Unlink and wake waiters to
-				// retry (one of them becomes the next leader).
-				delete(m.cache, key)
-				e.aborted = true
-				close(e.done)
-				m.mu.Unlock()
-				return nil, false, j.ctx.Err()
+			select {
+			case <-e.done:
+				// e's fields are written before done closes (under the
+				// manager lock); the close is the happens-before edge.
+				if e.aborted {
+					continue // leader cancelled; contend for leadership
+				}
+				return e.rec, TierMem, e.err
+			case <-ctx.Done():
+				return nil, TierMem, ctx.Err()
 			}
-			// Completed runs — successes and deterministic failures alike
-			// — stay cached: the same inputs would fail the same way.
-			e.rec, e.err = rec, err
-			close(e.done)
-			m.mu.Unlock()
-			return rec, false, err
 		}
+		// Leader: claim the key, probe the disk and simulate outside
+		// the lock.
+		e := &cacheEntry{done: make(chan struct{})}
+		m.cache[key] = e
 		m.mu.Unlock()
 
-		select {
-		case <-e.done:
-			m.mu.Lock()
-			aborted := e.aborted
-			m.mu.Unlock()
-			if aborted {
-				continue // leader cancelled; contend for leadership
+		if m.store != nil {
+			val, ok, err := m.store.Get(key)
+			if err == nil && ok {
+				// Disk hit: promote into the memory tier. The store
+				// shares the slice; the record is immutable everywhere.
+				m.completeEntry(key, e, json.RawMessage(val), nil)
+				return json.RawMessage(val), TierDisk, nil
 			}
-			return e.rec, true, e.err
-		case <-j.ctx.Done():
-			return nil, false, j.ctx.Err()
+			// A store read error degrades to a recompute, not a failure:
+			// the store is a cache, the simulator is the truth.
+		}
+
+		rec, err := m.computeRun(ctx, rs, key)
+		if err != nil && (ctx.Err() != nil || errors.Is(err, context.Canceled)) {
+			// Cancelled mid-run: the result never materialized, so the
+			// key must not be poisoned. Unlink and wake waiters to
+			// retry (one of them becomes the next leader).
+			m.mu.Lock()
+			delete(m.cache, key)
+			e.aborted = true
+			close(e.done)
+			m.mu.Unlock()
+			return nil, TierMiss, ctx.Err()
+		}
+		// Completed runs — successes and deterministic failures alike —
+		// stay cached in memory: the same inputs would fail the same
+		// way. Only successes persist to disk (the store holds result
+		// bytes, not errors).
+		m.completeEntry(key, e, rec, err)
+		if err == nil && m.store != nil {
+			// A failed disk append degrades to a memory-only entry; the
+			// next cold lookup recomputes deterministically.
+			_ = m.store.Put(key, rec)
+		}
+		return rec, TierMiss, err
+	}
+}
+
+// completeEntry publishes a leader's result and trims the memory tier.
+func (m *Manager) completeEntry(key string, e *cacheEntry, rec json.RawMessage, err error) {
+	m.mu.Lock()
+	e.rec, e.err = rec, err
+	close(e.done)
+	m.fifo = append(m.fifo, memKey{key: key, e: e})
+	m.evictMemLocked()
+	m.mu.Unlock()
+}
+
+// evictMemLocked bounds the in-memory result cache: completed entries
+// are dropped in completion order (oldest first) once the map exceeds
+// MemEntries. Pending entries are never evicted — they carry the
+// single-flight state. Dropped entries remain on disk (when a store is
+// configured) and re-promote on next use.
+func (m *Manager) evictMemLocked() {
+	for len(m.cache) > m.memCap && len(m.fifo) > 0 {
+		head := m.fifo[0]
+		m.fifo = m.fifo[1:]
+		// Only unlink if the map still points at this exact entry: the
+		// key may have been aborted and re-led since.
+		if cur := m.cache[head.key]; cur == head.e {
+			delete(m.cache, head.key)
 		}
 	}
 }
@@ -145,4 +224,25 @@ func (m *Manager) computeRun(ctx context.Context, rs RunSpec, key string) (json.
 		})
 	}
 	return json.Marshal(rec)
+}
+
+// assembleBody concatenates per-run records into the job result body
+// without re-marshaling: each record is already compact JSON (it came
+// out of json.Marshal), so splicing raw bytes produces exactly what
+// marshaling a {"runs": [...]} wrapper used to, minus the redundant
+// compaction pass over every cached record.
+func assembleBody(records []json.RawMessage) []byte {
+	n := len(`{"runs":[]}`) + len(records) // brackets + commas
+	for _, r := range records {
+		n += len(r)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, `{"runs":[`...)
+	for i, r := range records {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, r...)
+	}
+	return append(buf, ']', '}')
 }

@@ -2,7 +2,7 @@
 // sweeps: submit a set of experiment runs, watch their progress, fetch a
 // deterministic result body.
 //
-// Three properties define the design:
+// Four properties define the design:
 //
 //   - *Bounded intake.* Submissions pass through a fixed-depth queue into
 //     a fixed-size worker pool. A full queue rejects immediately
@@ -12,11 +12,20 @@
 //   - *Content-addressed results.* Every run is keyed by the SHA-256 of
 //     (experiment name, seed, canonicalized params). The simulator is
 //     deterministic by construction — same key, same bits, any worker
-//     count — so a completed run's record is cached and served
+//     count, any node — so a completed run's record is cached and served
 //     byte-identically to every later submission of the same key, without
-//     re-simulating. In-flight keys coalesce: concurrent identical
-//     submissions share one execution (single-flight), and the followers
-//     count as cache hits.
+//     re-simulating. The cache is tiered: a bounded in-memory map in
+//     front of an optional crash-safe disk store (internal/store), with
+//     single-flight coalescing preserved across the whole
+//     memory-hit → disk-hit → compute promotion path. In-flight keys
+//     coalesce: concurrent identical submissions share one execution,
+//     and the followers count as cache hits.
+//
+//   - *Horizontal fan-out.* With a SweepExecutor configured (the fabric
+//     layer, internal/fabric), a multi-run job splits into per-run
+//     shards routed across the peer ring by consistent hashing, executed
+//     with work-stealing, and reassembled index-ordered — the result
+//     body is byte-identical to a single-node run.
 //
 //   - *Cooperative cancellation.* Each job owns a context that Cancel
 //     fires. The context threads through registry.Experiment.Run into
@@ -31,6 +40,8 @@ package campaign
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/registry"
+	"repro/internal/store"
 )
 
 // State is a job lifecycle state.
@@ -73,9 +85,10 @@ type RunSpec struct {
 	Params     map[string]string `json:"params,omitempty"`
 }
 
-// Spec is a campaign: an ordered list of runs executed sequentially by
-// one worker. (Grid experiments parallelize internally via the runner;
-// campaign-level parallelism comes from submitting more jobs.)
+// Spec is a campaign: an ordered list of runs. Without a fabric the
+// runs execute sequentially on one worker; with a SweepExecutor they
+// fan out as shards across the peer ring. Either way the result body
+// lists the run records in submission order.
 type Spec struct {
 	Runs []RunSpec `json:"runs"`
 }
@@ -85,11 +98,14 @@ type RunStatus struct {
 	Experiment string `json:"experiment"`
 	Key        string `json:"key"`
 	State      State  `json:"state"`
-	// Cached is true when the run's record was served from the
-	// content-addressed cache (including coalesced in-flight waits)
-	// rather than simulated by this job.
-	Cached bool   `json:"cached"`
-	Error  string `json:"error,omitempty"`
+	// Cached is true when the run's record was served from a cache
+	// layer (memory, disk, in-flight coalescing, or a peer's cache)
+	// rather than simulated for this job.
+	Cached bool `json:"cached"`
+	// Tier is the cache layer that served the run (hit-mem, hit-disk,
+	// miss, forward); empty until the run starts resolving.
+	Tier  Tier   `json:"tier,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // Progress is the live counter set of a job.
@@ -101,17 +117,21 @@ type Progress struct {
 
 // JobStatus is a point-in-time snapshot of a job.
 type JobStatus struct {
-	ID       string      `json:"id"`
-	State    State       `json:"state"`
-	Progress Progress    `json:"progress"`
+	ID       string   `json:"id"`
+	State    State    `json:"state"`
+	Progress Progress `json:"progress"`
 	// Cached is true when the whole job completed without simulating
-	// anything: every run was served from the cache.
-	Cached   bool        `json:"cached"`
-	Error    string      `json:"error,omitempty"`
-	Runs     []RunStatus `json:"runs"`
-	Created  time.Time   `json:"created"`
-	Started  *time.Time  `json:"started,omitempty"`
-	Finished *time.Time  `json:"finished,omitempty"`
+	// anything: every run was served from a cache layer.
+	Cached bool `json:"cached"`
+	// CacheTier is the aggregate serving tier of a done job — the
+	// "worst" tier across its runs (miss > forward > hit-disk >
+	// hit-mem). Empty until the job is done.
+	CacheTier Tier        `json:"cache_tier,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	Runs      []RunStatus `json:"runs"`
+	Created   time.Time   `json:"created"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
 }
 
 // Event is one entry of a job's progress stream.
@@ -119,13 +139,64 @@ type Event struct {
 	Seq   int    `json:"seq"`
 	Job   string `json:"job"`
 	State State  `json:"state"`
-	// Run/RunState/Cached describe a per-run transition; empty for pure
-	// job-state events.
-	Run      string `json:"run,omitempty"`
-	RunState State  `json:"run_state,omitempty"`
-	Cached   bool   `json:"cached,omitempty"`
+	// Run/RunState/Cached/Tier describe a per-run transition; empty for
+	// pure job-state events.
+	Run      string   `json:"run,omitempty"`
+	RunState State    `json:"run_state,omitempty"`
+	Cached   bool     `json:"cached,omitempty"`
+	Tier     Tier     `json:"tier,omitempty"`
 	Progress Progress `json:"progress"`
-	Error    string `json:"error,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// ResultBody is a finished job's deterministic result plus the metadata
+// the HTTP layer serves it with. Body and ETag are computed exactly
+// once, when the job finishes — a cache hit re-serves the stored bytes
+// without re-marshaling anything.
+type ResultBody struct {
+	Body []byte
+	// Cached is true when no run was simulated for this job.
+	Cached bool
+	// Tier is the aggregate cache tier (the X-Cache value).
+	Tier Tier
+	// ETag is the strong entity tag: the quoted hex SHA-256 of Body.
+	ETag string
+}
+
+// Shard is one run of a sweep tagged with its position, so the fabric
+// can reassemble results index-ordered regardless of which peer
+// computed what.
+type Shard struct {
+	Index int
+	Run   RunSpec // resolved: params canonical
+	Key   string  // CacheKey of Run
+}
+
+// ShardResult is one shard's outcome as reported by a SweepExecutor.
+type ShardResult struct {
+	Rec json.RawMessage
+	// Tier is the layer that served the shard from the submitting
+	// node's perspective (TierForward for work executed by a peer).
+	Tier Tier
+	// Cached is true when no simulation happened anywhere for this
+	// shard — locally or on the peer that answered the forward.
+	Cached bool
+	Err    error
+}
+
+// LocalRunFunc executes one shard on the local node; Manager.ServeRun
+// is the implementation handed to the executor.
+type LocalRunFunc func(ctx context.Context, rs RunSpec, key string) (json.RawMessage, Tier, error)
+
+// SweepExecutor fans a multi-run job across the fabric as per-trial
+// shards. Implementations must call started at most once and done
+// exactly once per shard (from any goroutine), and must not return
+// until every callback has been delivered. A non-nil return means the
+// sweep itself aborted (typically ctx cancellation); per-shard
+// experiment failures travel in ShardResult.Err instead.
+type SweepExecutor interface {
+	ExecuteSweep(ctx context.Context, shards []Shard, local LocalRunFunc,
+		started func(i int, peer string), done func(i int, res ShardResult)) error
 }
 
 // job is the internal job record. All mutable fields are guarded by the
@@ -143,6 +214,8 @@ type job struct {
 	events   []Event
 	watch    chan struct{} // closed and replaced on every event
 	result   []byte
+	etag     string
+	tier     Tier
 	cached   bool
 	err      error
 	created  time.Time
@@ -159,12 +232,32 @@ type Config struct {
 	// QueueDepth bounds the submission queue (default 64). Submissions
 	// beyond Workers in-flight + QueueDepth queued fail with ErrQueueFull.
 	QueueDepth int
+	// Store is the optional disk layer behind the in-memory result
+	// cache: lookups go memory hit → disk hit → compute, completed
+	// results persist across restarts.
+	Store *store.Store
+	// Sweep optionally fans multi-run jobs across fabric peers
+	// (internal/fabric.Node implements it). Nil runs jobs sequentially
+	// on the local worker.
+	Sweep SweepExecutor
+	// MemEntries bounds the in-memory result cache (default 65536
+	// completed entries); the disk store backs whatever falls out.
+	MemEntries int
 }
 
-// Manager owns the queue, the worker pool, the job table and the result
-// cache.
+// memKey is one completed in-memory cache entry in completion order,
+// for FIFO trimming of the memory tier.
+type memKey struct {
+	key string
+	e   *cacheEntry
+}
+
+// Manager owns the queue, the worker pool, the job table and the
+// tiered result cache.
 type Manager struct {
 	reg   *registry.Registry
+	store *store.Store
+	exec  SweepExecutor
 	queue chan *job
 	wg    sync.WaitGroup
 
@@ -172,6 +265,8 @@ type Manager struct {
 	jobs     map[string]*job
 	order    []string
 	cache    map[string]*cacheEntry
+	fifo     []memKey
+	memCap   int
 	nextID   int
 	draining bool
 }
@@ -189,11 +284,18 @@ func New(cfg Config) *Manager {
 	if depth <= 0 {
 		depth = 64
 	}
+	memCap := cfg.MemEntries
+	if memCap <= 0 {
+		memCap = 65536
+	}
 	m := &Manager{
-		reg:   cfg.Registry,
-		queue: make(chan *job, depth),
-		jobs:  make(map[string]*job),
-		cache: make(map[string]*cacheEntry),
+		reg:    cfg.Registry,
+		store:  cfg.Store,
+		exec:   cfg.Sweep,
+		queue:  make(chan *job, depth),
+		jobs:   make(map[string]*job),
+		cache:  make(map[string]*cacheEntry),
+		memCap: memCap,
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -212,16 +314,11 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	resolved := make([]RunSpec, len(spec.Runs))
 	keys := make([]string, len(spec.Runs))
 	for i, rs := range spec.Runs {
-		exp, ok := m.reg.Lookup(rs.Experiment)
-		if !ok {
-			return JobStatus{}, fmt.Errorf("campaign: unknown experiment %q", rs.Experiment)
-		}
-		params, canon, err := exp.Resolve(rs.Params)
+		r, key, err := m.ResolveRun(rs)
 		if err != nil {
 			return JobStatus{}, err
 		}
-		resolved[i] = RunSpec{Experiment: rs.Experiment, Seed: rs.Seed, Params: params}
-		keys[i] = CacheKey(rs.Experiment, rs.Seed, canon)
+		resolved[i], keys[i] = r, key
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -307,23 +404,23 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	return st, nil
 }
 
-// Result returns a finished job's deterministic result body and whether
-// the whole body was served from the cache. ErrNotFinished while the job
-// is queued/running or cancelled; the job's own error if it failed.
-func (m *Manager) Result(id string) ([]byte, bool, error) {
+// Result returns a finished job's deterministic result body with its
+// serving metadata. ErrNotFinished while the job is queued/running or
+// cancelled; the job's own error if it failed.
+func (m *Manager) Result(id string) (ResultBody, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
-		return nil, false, ErrNotFound
+		return ResultBody{}, ErrNotFound
 	}
 	switch j.state {
 	case StateDone:
-		return j.result, j.cached, nil
+		return ResultBody{Body: j.result, Cached: j.cached, Tier: j.tier, ETag: j.etag}, nil
 	case StateFailed:
-		return nil, false, j.err
+		return ResultBody{}, j.err
 	default:
-		return nil, false, ErrNotFinished
+		return ResultBody{}, ErrNotFinished
 	}
 }
 
@@ -347,7 +444,9 @@ func (m *Manager) EventsSince(id string, from int) ([]Event, <-chan struct{}, bo
 
 // Drain stops intake (new Submits fail with ErrDraining), lets the
 // workers finish every queued and running job, and returns when the pool
-// is idle or ctx expires.
+// is idle or ctx expires. Fabric deployments drain through
+// fabric.Node.Drain, which gates forwarded-in work first and then calls
+// this.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
@@ -394,49 +493,134 @@ func (m *Manager) runJob(j *job) {
 	m.mu.Unlock()
 
 	records := make([]json.RawMessage, len(j.spec))
-	allCached := true
-	for i := range j.spec {
-		if err := j.ctx.Err(); err != nil {
-			m.finalize(j, StateCancelled, err)
-			return
-		}
-		m.setRunState(j, i, StateRunning, false, nil)
-		rec, cached, err := m.executeRun(j, i)
-		if err != nil {
-			if j.ctx.Err() != nil || errors.Is(err, context.Canceled) {
-				m.setRunState(j, i, StateCancelled, false, err)
-				m.finalize(j, StateCancelled, context.Canceled)
-			} else {
-				m.setRunState(j, i, StateFailed, cached, err)
-				m.finalize(j, StateFailed, fmt.Errorf("campaign: run %q: %w", j.spec[i].Experiment, err))
-			}
-			return
-		}
-		records[i] = rec
-		allCached = allCached && cached
-		m.setRunState(j, i, StateDone, cached, nil)
+	var err error
+	if m.exec != nil {
+		err = m.runSweep(j, records)
+	} else {
+		err = m.runSequential(j, records)
 	}
-
-	body, err := json.Marshal(struct {
-		Runs []json.RawMessage `json:"runs"`
-	}{records})
 	if err != nil {
-		m.finalize(j, StateFailed, err)
+		if j.ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			m.finalize(j, StateCancelled, context.Canceled)
+		} else {
+			m.finalize(j, StateFailed, err)
+		}
 		return
 	}
+
+	// Reassemble index-ordered: the body lists records in submission
+	// order no matter which tier — or which peer — produced each one.
+	body := assembleBody(records)
+	sum := sha256.Sum256(body)
 	m.mu.Lock()
 	j.result = body
-	j.cached = allCached
+	j.etag = `"` + hex.EncodeToString(sum[:]) + `"`
+	j.tier = aggregateTier(j.runs)
+	j.cached = j.tier != TierMiss
 	m.finalizeLocked(j, StateDone, nil)
 	m.mu.Unlock()
 }
 
+// runSequential executes the runs in order on this worker — the
+// single-node path.
+func (m *Manager) runSequential(j *job, records []json.RawMessage) error {
+	for i := range j.spec {
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		m.setRunState(j, i, StateRunning, false, "", nil)
+		rec, tier, err := m.ServeRun(j.ctx, j.spec[i], j.keys[i])
+		cached := tier == TierMem || tier == TierDisk
+		if err != nil {
+			if j.ctx.Err() != nil || errors.Is(err, context.Canceled) {
+				m.setRunState(j, i, StateCancelled, false, "", err)
+				return context.Canceled
+			}
+			m.setRunState(j, i, StateFailed, cached, tier, err)
+			return fmt.Errorf("campaign: run %q: %w", j.spec[i].Experiment, err)
+		}
+		records[i] = rec
+		m.setRunState(j, i, StateDone, cached, tier, nil)
+	}
+	return nil
+}
+
+// runSweep fans the job's runs across the fabric as shards. Per-shard
+// experiment failures fail the job (like the sequential path); shards
+// the executor aborted after an earlier failure surface as cancelled
+// runs without overriding the first real error.
+func (m *Manager) runSweep(j *job, records []json.RawMessage) error {
+	shards := make([]Shard, len(j.spec))
+	for i := range j.spec {
+		shards[i] = Shard{Index: i, Run: j.spec[i], Key: j.keys[i]}
+	}
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	sweepErr := m.exec.ExecuteSweep(j.ctx, shards, m.ServeRun,
+		func(i int, peer string) {
+			m.setRunState(j, i, StateRunning, false, "", nil)
+		},
+		func(i int, res ShardResult) {
+			if res.Err != nil {
+				if errors.Is(res.Err, context.Canceled) {
+					m.setRunState(j, i, StateCancelled, false, "", res.Err)
+					return
+				}
+				m.setRunState(j, i, StateFailed, res.Cached, res.Tier, res.Err)
+				errOnce.Do(func() {
+					firstErr = fmt.Errorf("campaign: run %q: %w", j.spec[i].Experiment, res.Err)
+				})
+				return
+			}
+			records[i] = res.Rec
+			m.setRunState(j, i, StateDone, res.Cached, res.Tier, nil)
+		})
+	if firstErr != nil {
+		return firstErr
+	}
+	if sweepErr != nil {
+		return sweepErr
+	}
+	return j.ctx.Err()
+}
+
+// aggregateTier folds per-run tiers into the job-level X-Cache value:
+// the worst tier wins (miss > forward > hit-disk > hit-mem).
+func aggregateTier(runs []RunStatus) Tier {
+	rank := func(t Tier) int {
+		switch t {
+		case TierMiss:
+			return 3
+		case TierForward:
+			return 2
+		case TierDisk:
+			return 1
+		default:
+			return 0
+		}
+	}
+	agg := TierMem
+	for i := range runs {
+		t := runs[i].Tier
+		if !runs[i].Cached {
+			t = TierMiss
+		}
+		if rank(t) > rank(agg) {
+			agg = t
+		}
+	}
+	return agg
+}
+
 // setRunState records a per-run transition and emits its event.
-func (m *Manager) setRunState(j *job, i int, s State, cached bool, err error) {
+func (m *Manager) setRunState(j *job, i int, s State, cached bool, tier Tier, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.runs[i].State = s
 	j.runs[i].Cached = cached
+	j.runs[i].Tier = tier
 	if err != nil {
 		j.runs[i].Error = err.Error()
 	}
@@ -446,7 +630,7 @@ func (m *Manager) setRunState(j *job, i int, s State, cached bool, err error) {
 			j.progress.CacheHits++
 		}
 	}
-	ev := Event{Run: j.spec[i].Experiment, RunState: s, Cached: cached, State: j.state}
+	ev := Event{Run: j.spec[i].Experiment, RunState: s, Cached: cached, Tier: tier, State: j.state}
 	if err != nil {
 		ev.Error = err.Error()
 	}
@@ -468,7 +652,7 @@ func (m *Manager) finalizeLocked(j *job, s State, err error) {
 	j.err = err
 	j.finished = time.Now()
 	j.cancel() // release the context's resources in every terminal path
-	ev := Event{State: s, Cached: j.cached}
+	ev := Event{State: s, Cached: j.cached, Tier: j.tier}
 	if err != nil {
 		ev.Error = err.Error()
 	}
@@ -489,12 +673,13 @@ func (m *Manager) emitLocked(j *job, ev Event) {
 // statusLocked snapshots a job.
 func (j *job) statusLocked() JobStatus {
 	st := JobStatus{
-		ID:       j.id,
-		State:    j.state,
-		Progress: j.progress,
-		Cached:   j.cached,
-		Runs:     append([]RunStatus(nil), j.runs...),
-		Created:  j.created,
+		ID:        j.id,
+		State:     j.state,
+		Progress:  j.progress,
+		Cached:    j.cached,
+		CacheTier: j.tier,
+		Runs:      append([]RunStatus(nil), j.runs...),
+		Created:   j.created,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

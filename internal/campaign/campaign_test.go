@@ -109,16 +109,22 @@ func TestJobLifecycle(t *testing.T) {
 		t.Fatal("first-ever job reported cached")
 	}
 
-	body, cached, err := m.Result(st.ID)
+	rb, err := m.Result(st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cached {
+	if rb.Cached {
 		t.Fatal("first-ever result reported cached")
 	}
+	if rb.Tier != TierMiss {
+		t.Fatalf("first-ever result tier = %s, want miss", rb.Tier)
+	}
+	if rb.ETag == "" || rb.ETag[0] != '"' {
+		t.Fatalf("missing strong ETag: %q", rb.ETag)
+	}
 	for _, want := range []string{"echo seed=7 temps=25,0", "echo seed=8 temps=1,2,3", "echo.bin"} {
-		if !bytes.Contains(body, []byte(want)) {
-			t.Errorf("result body missing %q:\n%s", want, body)
+		if !bytes.Contains(rb.Body, []byte(want)) {
+			t.Errorf("result body missing %q:\n%s", want, rb.Body)
 		}
 	}
 
@@ -151,9 +157,9 @@ func TestCacheHitByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitState(t, m, st1.ID, terminal)
-	body1, cached1, err := m.Result(st1.ID)
-	if err != nil || cached1 {
-		t.Fatalf("first result: cached=%v err=%v", cached1, err)
+	rb1, err := m.Result(st1.ID)
+	if err != nil || rb1.Cached {
+		t.Fatalf("first result: cached=%v err=%v", rb1.Cached, err)
 	}
 
 	// Same campaign, spelled with the default made explicit: must hit.
@@ -170,12 +176,18 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	if final2.Progress.CacheHits != 1 {
 		t.Fatalf("cache hits = %d, want 1", final2.Progress.CacheHits)
 	}
-	body2, cached2, err := m.Result(st2.ID)
-	if err != nil || !cached2 {
-		t.Fatalf("second result: cached=%v err=%v", cached2, err)
+	rb2, err := m.Result(st2.ID)
+	if err != nil || !rb2.Cached {
+		t.Fatalf("second result: cached=%v err=%v", rb2.Cached, err)
 	}
-	if !bytes.Equal(body1, body2) {
-		t.Fatalf("cached result body differs:\n%s\nvs\n%s", body1, body2)
+	if rb2.Tier != TierMem {
+		t.Fatalf("second result tier = %s, want hit-mem", rb2.Tier)
+	}
+	if !bytes.Equal(rb1.Body, rb2.Body) {
+		t.Fatalf("cached result body differs:\n%s\nvs\n%s", rb1.Body, rb2.Body)
+	}
+	if rb1.ETag != rb2.ETag {
+		t.Fatalf("ETag differs across identical bodies: %s vs %s", rb1.ETag, rb2.ETag)
 	}
 	if n := echoRuns.Load(); n != 1 {
 		t.Fatalf("echo simulated %d times, want 1", n)
@@ -211,7 +223,7 @@ func TestCancelFreesWorker(t *testing.T) {
 	if final.State != StateCancelled {
 		t.Fatalf("state = %s, want cancelled", final.State)
 	}
-	if _, _, err := m.Result(blocked.ID); !errors.Is(err, ErrNotFinished) {
+	if _, err := m.Result(blocked.ID); !errors.Is(err, ErrNotFinished) {
 		t.Fatalf("Result of cancelled job: err = %v, want ErrNotFinished", err)
 	}
 
@@ -325,11 +337,11 @@ func TestConcurrentIdenticalSubmissions(t *testing.T) {
 		if final.State != StateDone {
 			t.Fatalf("client %d: state %s (%s)", c, final.State, final.Error)
 		}
-		body, _, err := m.Result(ids[c])
+		rb, err := m.Result(ids[c])
 		if err != nil {
 			t.Fatal(err)
 		}
-		bodies = append(bodies, body)
+		bodies = append(bodies, rb.Body)
 		if final.Cached {
 			cachedCount++
 		}
@@ -364,7 +376,7 @@ func TestFailedRun(t *testing.T) {
 	if final.State != StateFailed {
 		t.Fatalf("state = %s, want failed", final.State)
 	}
-	if _, _, err := m.Result(st.ID); err == nil {
+	if _, err := m.Result(st.ID); err == nil {
 		t.Fatal("Result of failed job returned no error")
 	}
 

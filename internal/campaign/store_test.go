@@ -1,0 +1,154 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/store"
+)
+
+type jsonRaw = json.RawMessage
+
+func testStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// TestDiskTierSurvivesRestart is the persistence contract at the
+// manager level: a fresh Manager over a repopulated store serves a
+// previously computed campaign byte-identically from the disk tier,
+// without re-simulating anything.
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Runs: []RunSpec{
+		{Experiment: "echo", Seed: 7},
+		{Experiment: "echo", Seed: 8, Params: map[string]string{"temps": "1,2,3"}},
+	}}
+
+	reg1, runs1, _ := testRegistry()
+	m1 := New(Config{Registry: reg1, Workers: 2, QueueDepth: 8, Store: testStore(t, dir)})
+	st1, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m1, st1.ID, terminal)
+	rb1, err := m1.Result(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb1.Tier != TierMiss || runs1.Load() != 2 {
+		t.Fatalf("first run: tier=%s sims=%d, want miss/2", rb1.Tier, runs1.Load())
+	}
+	if err := m1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": new registry (fresh sim counter), new manager, same dir.
+	reg2, runs2, _ := testRegistry()
+	m2 := New(Config{Registry: reg2, Workers: 2, QueueDepth: 8, Store: testStore(t, dir)})
+	defer m2.Drain(context.Background())
+	st2, err := m2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m2, st2.ID, terminal)
+	if !final.Cached {
+		t.Fatal("restarted manager did not serve from cache")
+	}
+	rb2, err := m2.Result(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb2.Tier != TierDisk {
+		t.Fatalf("post-restart tier = %s, want hit-disk", rb2.Tier)
+	}
+	if !bytes.Equal(rb1.Body, rb2.Body) {
+		t.Fatalf("post-restart body differs:\n%s\nvs\n%s", rb1.Body, rb2.Body)
+	}
+	if rb1.ETag != rb2.ETag {
+		t.Fatalf("post-restart ETag differs: %s vs %s", rb1.ETag, rb2.ETag)
+	}
+	if runs2.Load() != 0 {
+		t.Fatalf("restarted manager simulated %d runs, want 0", runs2.Load())
+	}
+
+	// Third submission: the disk hit was promoted to the memory tier.
+	st3, _ := m2.Submit(spec)
+	waitState(t, m2, st3.ID, terminal)
+	rb3, err := m2.Result(st3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb3.Tier != TierMem {
+		t.Fatalf("promoted tier = %s, want hit-mem", rb3.Tier)
+	}
+	if !bytes.Equal(rb2.Body, rb3.Body) {
+		t.Fatal("promoted body differs from disk body")
+	}
+}
+
+// TestMemEvictionFallsBackToDisk: with a tiny memory tier, older keys
+// fall out of the map but re-promote from disk instead of recomputing.
+func TestMemEvictionFallsBackToDisk(t *testing.T) {
+	reg, runs, _ := testRegistry()
+	m := New(Config{Registry: reg, Workers: 1, QueueDepth: 64,
+		Store: testStore(t, t.TempDir()), MemEntries: 2})
+	defer m.Drain(context.Background())
+
+	const n = 6
+	for seed := uint64(0); seed < n; seed++ {
+		st, err := m.Submit(Spec{Runs: []RunSpec{{Experiment: "echo", Seed: seed}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, st.ID, terminal)
+	}
+	if got := runs.Load(); got != n {
+		t.Fatalf("simulated %d, want %d", got, n)
+	}
+	// Seed 0 has long since been evicted from the 2-entry memory tier:
+	// it must come back from disk, not a recompute.
+	st, err := m.Submit(Spec{Runs: []RunSpec{{Experiment: "echo", Seed: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, terminal)
+	rb, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Tier != TierDisk {
+		t.Fatalf("evicted key tier = %s, want hit-disk", rb.Tier)
+	}
+	if got := runs.Load(); got != n {
+		t.Fatalf("evicted key recomputed: %d sims, want %d", got, n)
+	}
+}
+
+// TestAssembleBodyMatchesMarshal pins the no-re-marshal body assembly
+// against the encoding it replaced.
+func TestAssembleBodyMatchesMarshal(t *testing.T) {
+	recs := [][]byte{
+		[]byte(`{"a":1}`),
+		[]byte(`{"b":"x","c":[1,2,3]}`),
+		[]byte(`{"d":null}`),
+	}
+	want := []byte(`{"runs":[{"a":1},{"b":"x","c":[1,2,3]},{"d":null}]}`)
+	var raw []jsonRaw
+	for _, r := range recs {
+		raw = append(raw, jsonRaw(r))
+	}
+	if got := assembleBody(raw); !bytes.Equal(got, want) {
+		t.Fatalf("assembleBody = %s, want %s", got, want)
+	}
+	if got := assembleBody(nil); !bytes.Equal(got, []byte(`{"runs":[]}`)) {
+		t.Fatalf("assembleBody(nil) = %s", got)
+	}
+}

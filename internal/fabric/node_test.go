@@ -1,0 +1,244 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/registry"
+)
+
+// gateRegistry returns a registry whose single "gate" experiment blocks
+// until release is called (or its context fires) — the knob the drain
+// interlock test needs.
+func gateRegistry() (*registry.Registry, func()) {
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	reg := registry.New(&registry.Experiment{
+		Name: "gate", Doc: "blocks until released", ArtifactKinds: []string{"text"},
+		Run: func(ctx context.Context, _ registry.Request) (*registry.Result, error) {
+			select {
+			case <-gate:
+				return &registry.Result{Text: "opened\n"}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	return reg, release
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDrainCoversForwardedRuns is the drain contract for fabric traffic:
+// a forwarded-in run that is already executing completes and delivers
+// its bytes before Drain returns, while new forwarded work is refused
+// with ErrDraining the moment draining starts.
+func TestDrainCoversForwardedRuns(t *testing.T) {
+	reg, release := gateRegistry()
+	node, err := New(Config{Self: "solo", Fingerprint: reg.Fingerprint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := campaign.New(campaign.Config{Registry: reg, Workers: 1, QueueDepth: 4})
+	node.Attach(mgr)
+
+	// A forwarded-in run starts executing and blocks on the gate.
+	type outcome struct {
+		rec []byte
+		err error
+	}
+	served := make(chan outcome, 1)
+	go func() {
+		rec, _, err := node.ServeForwarded(context.Background(),
+			ForwardRequest{Experiment: "gate", Seed: 1})
+		served <- outcome{rec, err}
+	}()
+	waitFor(t, "forwarded run to start", func() bool {
+		return node.Status().Stats.ForwardedIn == 1
+	})
+
+	// Drain starts; it must not complete while the forwarded run holds.
+	drained := make(chan error, 1)
+	go func() { drained <- node.Drain(context.Background()) }()
+	waitFor(t, "draining state", func() bool { return node.Status().State == "draining" })
+
+	// New forwarded work is refused immediately: the sender will 503 and
+	// hand the shard back.
+	if _, _, err := node.ServeForwarded(context.Background(),
+		ForwardRequest{Experiment: "gate", Seed: 2}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("forward into draining node: err = %v, want ErrDraining", err)
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned (%v) while a forwarded run was still executing", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the gate: the in-flight run completes with its bytes, and
+	// only then does Drain return.
+	release()
+	out := <-served
+	if out.err != nil || len(out.rec) == 0 {
+		t.Fatalf("forwarded run after release: rec=%d bytes err=%v", len(out.rec), out.err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	// Drain is idempotent and the manager is drained too.
+	if err := node.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Submit(campaign.Spec{Runs: []campaign.RunSpec{{Experiment: "gate", Seed: 3}}}); !errors.Is(err, campaign.ErrDraining) {
+		t.Fatalf("post-drain submit: %v, want campaign.ErrDraining", err)
+	}
+}
+
+// TestWorkStealingDrainsQueues: a sweep over a single-member ring whose
+// queues are all local still executes every shard exactly once, in any
+// interleaving, and reassembles index-ordered results.
+func TestWorkStealingDrainsQueues(t *testing.T) {
+	reg, _ := gateRegistry()
+	node, err := New(Config{Self: "solo", Streams: 4, Fingerprint: reg.Fingerprint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shardsN = 40
+	shards := make([]campaign.Shard, shardsN)
+	for i := range shards {
+		shards[i] = campaign.Shard{
+			Index: i,
+			Run:   campaign.RunSpec{Experiment: "x", Seed: uint64(i)},
+			Key:   fmt.Sprintf("%064d", i),
+		}
+	}
+	var mu sync.Mutex
+	startedN := 0
+	doneSet := make(map[int]int)
+	local := campaign.LocalRunFunc(func(_ context.Context, rs campaign.RunSpec, _ string) (json.RawMessage, campaign.Tier, error) {
+		return json.RawMessage(fmt.Sprintf(`{"seed":%d}`, rs.Seed)), campaign.TierMiss, nil
+	})
+	err = node.ExecuteSweep(context.Background(), shards, local,
+		func(i int, peer string) {
+			mu.Lock()
+			startedN++
+			mu.Unlock()
+			if peer != "solo" {
+				t.Errorf("shard %d started on %q", i, peer)
+			}
+		},
+		func(i int, res campaign.ShardResult) {
+			mu.Lock()
+			doneSet[i]++
+			mu.Unlock()
+			if res.Err != nil {
+				t.Errorf("shard %d: %v", i, res.Err)
+			}
+			if want := fmt.Sprintf(`{"seed":%d}`, i); string(res.Rec) != want {
+				t.Errorf("shard %d record %s, want %s", i, res.Rec, want)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if startedN != shardsN || len(doneSet) != shardsN {
+		t.Fatalf("started %d, done %d distinct, want %d", startedN, len(doneSet), shardsN)
+	}
+	for i, c := range doneSet {
+		if c != 1 {
+			t.Fatalf("shard %d completed %d times", i, c)
+		}
+	}
+}
+
+// TestSweepFailureCancelsRemaining: the first real shard failure stops
+// dispatch; every shard still gets exactly one done callback (failed,
+// done, or cancelled).
+func TestSweepFailureCancelsRemaining(t *testing.T) {
+	reg, _ := gateRegistry()
+	node, err := New(Config{Self: "solo", Fingerprint: reg.Fingerprint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shardsN = 30
+	shards := make([]campaign.Shard, shardsN)
+	for i := range shards {
+		shards[i] = campaign.Shard{Index: i, Key: fmt.Sprintf("%064d", i)}
+	}
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	outcomes := make(map[int]error)
+	local := campaign.LocalRunFunc(func(_ context.Context, _ campaign.RunSpec, key string) (json.RawMessage, campaign.Tier, error) {
+		if key == shards[3].Key {
+			return nil, campaign.TierMiss, boom
+		}
+		return json.RawMessage(`{}`), campaign.TierMiss, nil
+	})
+	err = node.ExecuteSweep(context.Background(), shards, local,
+		func(int, string) {},
+		func(i int, res campaign.ShardResult) {
+			mu.Lock()
+			if _, dup := outcomes[i]; dup {
+				t.Errorf("shard %d reported twice", i)
+			}
+			outcomes[i] = res.Err
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatalf("sweep error: %v (shard failures travel per-shard)", err)
+	}
+	if len(outcomes) != shardsN {
+		t.Fatalf("%d outcomes, want %d", len(outcomes), shardsN)
+	}
+	if !errors.Is(outcomes[3], boom) {
+		t.Fatalf("failing shard outcome: %v", outcomes[3])
+	}
+}
+
+// TestStealPreservesOwner pins the slot-transfer semantics that keep
+// placement stable: a thief that drains another executor's backlog
+// dispatches those shards to their original owner — it contributes
+// concurrency, it does not re-home work. (Re-homing would let a fast
+// local loop strip every remote queue before the first forward
+// returned, defeating cache placement entirely.)
+func TestStealPreservesOwner(t *testing.T) {
+	q := &sweepQueues{queues: map[string][]campaign.Shard{
+		"a": {{Index: 0}, {Index: 1}, {Index: 2}},
+		"b": nil,
+	}}
+
+	sh, owner, stolen, ok := q.next("a")
+	if !ok || stolen || owner != "a" || sh.Index != 0 {
+		t.Fatalf("own pop: sh=%+v owner=%q stolen=%v ok=%v", sh, owner, stolen, ok)
+	}
+	// b's queue is dry: it steals from a's tail but the shard stays a's.
+	sh, owner, stolen, ok = q.next("b")
+	if !ok || !stolen || owner != "a" || sh.Index != 2 {
+		t.Fatalf("steal: sh=%+v owner=%q stolen=%v ok=%v", sh, owner, stolen, ok)
+	}
+	sh, owner, stolen, ok = q.next("b")
+	if !ok || !stolen || owner != "a" || sh.Index != 1 {
+		t.Fatalf("second steal: sh=%+v owner=%q stolen=%v ok=%v", sh, owner, stolen, ok)
+	}
+	if _, _, _, ok := q.next("b"); ok {
+		t.Fatal("queues should be dry")
+	}
+}

@@ -35,8 +35,8 @@ type Config struct {
 }
 
 // DefaultConfig returns the repo's invariant model: the simulation core
-// plus its pure infrastructure is deterministic; campaign, api, and
-// registry form the service layer.
+// plus its pure infrastructure is deterministic; campaign, api,
+// registry, the result store, and the fabric form the service layer.
 func DefaultConfig() *Config {
 	return &Config{
 		DeterministicPkgs: []string{
@@ -49,6 +49,7 @@ func DefaultConfig() *Config {
 		},
 		ServicePkgs: []string{
 			"internal/campaign", "internal/api", "internal/registry",
+			"internal/store", "internal/fabric",
 		},
 		DeterministicExtraImports: nil,
 		ExcludePkgs:               []string{"internal/lint"},

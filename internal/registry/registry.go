@@ -14,6 +14,9 @@ package registry
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
@@ -249,4 +252,41 @@ func (r *Registry) Match(substr string) []*Experiment {
 		}
 	}
 	return out
+}
+
+// Fingerprint hashes the catalog's cache-relevant surface: experiment
+// names, slow flags, artifact kinds, and full parameter schemas, in
+// declaration order with every field length-prefixed (so no two
+// distinct catalogs can collide by concatenation). Two nodes whose
+// fingerprints match resolve every RunSpec to the same cache key, which
+// is the precondition for exchanging work across the fabric.
+func (r *Registry) Fingerprint() string {
+	h := sha256.New()
+	writeField := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	for _, e := range r.list {
+		writeField(e.Name)
+		if e.Slow {
+			writeField("slow")
+		} else {
+			writeField("fast")
+		}
+		for _, k := range e.ArtifactKinds {
+			writeField(k)
+		}
+		for i := range e.Params {
+			ps := &e.Params[i]
+			writeField(ps.Name)
+			writeField(string(ps.Kind))
+			writeField(ps.Default)
+			for _, en := range ps.Enum {
+				writeField(en)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

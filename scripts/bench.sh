@@ -33,6 +33,12 @@ go test -run '^$' -bench 'BenchmarkOSWorkloadIPS$' -benchtime 2s ./internal/kern
 echo "==> campaign service throughput (2s)"
 go test -run '^$' -bench 'BenchmarkCampaignSubmitCached$' -benchtime 2s ./internal/api/ | tee -a "$tmp"
 
+echo "==> result store (2s each)"
+go test -run '^$' -bench 'BenchmarkStoreGet$|BenchmarkStoreGetDisk$|BenchmarkStorePut$' -benchtime 2s ./internal/store/ | tee -a "$tmp"
+
+echo "==> fabric sharded sweep (2s)"
+go test -run '^$' -bench 'BenchmarkFabricSweepCached$' -benchtime 2s ./internal/api/ | tee -a "$tmp"
+
 echo "==> experiment benchmarks (-benchtime ${BENCHTIME})"
 go test -run '^$' -bench 'BenchmarkFigure7ColdBoot$|BenchmarkFigure8OSScenario$|BenchmarkTable4ArraySweep$' \
 	-benchtime "$BENCHTIME" ./internal/experiments/ | tee -a "$tmp"
@@ -46,10 +52,19 @@ if ! git diff-index --quiet HEAD -- 2>/dev/null; then
 	dirty=true
 fi
 
+# Environment metadata: numbers are only comparable across runs on the
+# same toolchain and hardware, so record both alongside the results.
+goversion="$(go version | awk '{print $3}')"
+gomaxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+cpumodel="$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)"
+
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-	-v commit="$commit" -v dirty="$dirty" '
+	-v commit="$commit" -v dirty="$dirty" \
+	-v goversion="$goversion" -v gomaxprocs="$gomaxprocs" -v cpumodel="$cpumodel" '
 BEGIN {
-	printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"dirty\": %s,\n  \"benchmarks\": [", date, commit, dirty
+	printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"dirty\": %s,\n", date, commit, dirty
+	printf "  \"go_version\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"cpu_model\": \"%s\",\n", goversion, gomaxprocs, cpumodel
+	printf "  \"benchmarks\": ["
 	sep = ""
 }
 /^Benchmark/ {

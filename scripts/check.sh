@@ -21,6 +21,13 @@ go test -race -short ./...
 echo "==> campaign service: full -race pass (queue, cache single-flight, cancellation)"
 go test -race -count=1 ./internal/campaign/ ./internal/runner/ ./internal/api/
 
+echo "==> result store: crash-safety + eviction under -race"
+go test -race -count=1 ./internal/store/
+
+echo "==> fabric: N-node harness under -race (sharded sweeps, restart, drain handback)"
+go test -race -count=1 ./internal/fabric/
+go test -race -count=1 -run 'TestFabric' ./internal/api/
+
 echo "==> benchmark smoke (1 iteration)"
 go test -run '^$' -bench 'ResolveDecay|PowerUpAll|FractionalHD|FractionOnes|SnapshotRestore' -benchtime 1x ./internal/sram/ ./internal/analysis/
 go test -run '^$' -bench 'CPUStep|CacheAccessHit|CacheAccessMiss|OSWorkloadIPS' -benchtime 1x ./internal/soc/ ./internal/cache/ ./internal/kernel/
