@@ -196,6 +196,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, st)
 		return
 	}
+	if st.State.Terminal() {
+		// Fully-cached submissions finish inside Submit; skip the event
+		// loop and its two extra status snapshots.
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
 	// Request-scoped job: follow the event stream until terminal; if the
 	// client goes away first, the job goes with it.
 	from := 0

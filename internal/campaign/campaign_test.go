@@ -462,3 +462,61 @@ func TestCacheKeyShape(t *testing.T) {
 		}
 	}
 }
+
+// TestJobRetention: finished jobs beyond the cap are forgotten — status,
+// result and List stop serving them — while newer jobs and the result
+// cache stay intact.
+func TestJobRetention(t *testing.T) {
+	reg, _, _ := testRegistry()
+	m := New(Config{Registry: reg, Workers: 1, QueueDepth: 8, JobRetention: 3})
+	defer m.Drain(context.Background())
+
+	var ids []string
+	for seed := uint64(1); seed <= 5; seed++ {
+		st, err := m.Submit(Spec{Runs: []RunSpec{{Experiment: "echo", Seed: seed}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, st.ID, terminal)
+		ids = append(ids, st.ID)
+	}
+
+	// 5 finished with cap 3: the two oldest are gone.
+	for _, id := range ids[:2] {
+		if _, err := m.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(%s): err = %v, want ErrNotFound", id, err)
+		}
+		if _, err := m.Result(id); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Result(%s): err = %v, want ErrNotFound", id, err)
+		}
+	}
+	for _, id := range ids[2:] {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s state = %s, want done", id, st.State)
+		}
+	}
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("List() returned %d jobs, want 3", len(list))
+	}
+	for i, st := range list {
+		if st.ID != ids[2+i] {
+			t.Fatalf("List()[%d] = %s, want %s (submission order, evictions skipped)", i, st.ID, ids[2+i])
+		}
+	}
+
+	// The forgotten jobs' results still live in the cache tier: a fresh
+	// identical submission is served as a memory hit.
+	st, err := m.Submit(Spec{Runs: []RunSpec{{Experiment: "echo", Seed: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, st.ID, terminal)
+	if !final.Cached || final.CacheTier != TierMem {
+		t.Fatalf("resubmit after eviction: cached=%v tier=%s, want mem hit", final.Cached, final.CacheTier)
+	}
+}
