@@ -51,6 +51,13 @@ type fleetNode struct {
 // nil runs the fleet memory+disk over fresh temp dirs.
 func startFleet(t testing.TB, n int, dirs []string) []*fleetNode {
 	t.Helper()
+	return startFleetReg(t, n, dirs, nil)
+}
+
+// startFleetReg is startFleet with the per-node registry pluggable; a
+// nil maker uses the synthetic echo catalog.
+func startFleetReg(t testing.TB, n int, dirs []string, mkReg func() *registry.Registry) []*fleetNode {
+	t.Helper()
 	if dirs == nil {
 		dirs = make([]string, n)
 		for i := range dirs {
@@ -69,6 +76,9 @@ func startFleet(t testing.TB, n int, dirs []string) []*fleetNode {
 	}
 	for i, fn := range nodes {
 		reg := fleetExperiments(fn.sims)
+		if mkReg != nil {
+			reg = mkReg()
+		}
 		st, err := store.Open(store.Options{Dir: dirs[i]})
 		if err != nil {
 			t.Fatal(err)
@@ -192,6 +202,58 @@ func TestFabricShardedSweepByteIdentical(t *testing.T) {
 				t.Fatalf("no forwards recorded: %+v", st.Stats)
 			}
 		})
+	}
+}
+
+// glitchSweepBody builds a wait:true glitch-search campaign over seeds
+// 0..runs-1 with a small explicit grid, so the sweep is fast but every
+// run still Monte-Carlos real glitched secure-boot trials.
+func glitchSweepBody(runs int) string {
+	var b strings.Builder
+	b.WriteString(`{"wait":true,"runs":[`)
+	for i := 0; i < runs; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"experiment":"glitch-search","seed":%d,"params":{`, i)
+		b.WriteString(`"offsets":"3,4,5","widths":"1,2","depths":"0.30","trials":"4"}}`)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// TestFabricGlitchSearchByteIdentical runs the real glitch-search
+// campaign through the whole distributed stack: a 3-node fleet serving
+// the full experiment catalog shards a seed sweep (disk store, work
+// placement, HTTP reassembly), and the reassembled body — success-map
+// JSON artifacts included — is byte-identical to one standalone node
+// computing the same campaign.
+func TestFabricGlitchSearchByteIdentical(t *testing.T) {
+	const runs = 6
+	body := glitchSweepBody(runs)
+
+	soloReg := registry.Default()
+	soloMgr := campaign.New(campaign.Config{Registry: soloReg, Workers: 2, QueueDepth: 32})
+	soloTS := httptest.NewServer(New(soloMgr, soloReg, nil))
+	t.Cleanup(func() {
+		soloTS.Close()
+		_ = soloMgr.Drain(context.Background())
+	})
+	_, soloBody, soloResp := submitWait(t, soloTS.URL, body)
+	if !bytes.Contains(soloBody, []byte("glitch_success_map.json")) {
+		t.Fatalf("campaign output carries no success-map artifact:\n%s", soloBody)
+	}
+
+	fleet := startFleetReg(t, 3, nil, registry.Default)
+	_, gotBody, gotResp := submitWait(t, fleet[0].ts.URL, body)
+	if !bytes.Equal(gotBody, soloBody) {
+		t.Fatalf("sharded glitch-search body differs from single-node body:\n%s\nvs\n%s", gotBody, soloBody)
+	}
+	if se, ge := soloResp.Header.Get("ETag"), gotResp.Header.Get("ETag"); se != ge {
+		t.Fatalf("ETag differs: solo %s, fleet %s", se, ge)
+	}
+	if st := fleet[0].node.Status(); st.Stats.ForwardedOut == 0 {
+		t.Fatalf("no forwards recorded: %+v", st.Stats)
 	}
 }
 

@@ -76,6 +76,11 @@ var (
 	ErrDraining    = errors.New("campaign: manager is draining")
 	ErrNotFound    = errors.New("campaign: no such job")
 	ErrNotFinished = errors.New("campaign: job has not finished")
+	// ErrRunTimeout marks a run that exceeded Config.RunTimeout. It is a
+	// distinct failed-state reason, not a cancellation: the job fails,
+	// and the timed-out key is never cached (a rerun with more budget —
+	// or on a faster node — may well succeed).
+	ErrRunTimeout = errors.New("campaign: run exceeded its wall-clock timeout")
 )
 
 // RunSpec is one experiment run inside a campaign. Params may be partial
@@ -251,6 +256,11 @@ type Config struct {
 	// so a long-running daemon's job table cannot grow without bound.
 	// Results themselves outlive the job record in the result cache.
 	JobRetention int
+	// RunTimeout bounds one run's wall-clock simulation time (default
+	// 0: no limit). A run that exceeds it fails with ErrRunTimeout —
+	// failing its job with that distinct reason — and its result is
+	// never cached in any tier.
+	RunTimeout time.Duration
 }
 
 // memKey is one completed in-memory cache entry in completion order,
@@ -263,11 +273,12 @@ type memKey struct {
 // Manager owns the queue, the worker pool, the job table and the
 // tiered result cache.
 type Manager struct {
-	reg   *registry.Registry
-	store *store.Store
-	exec  SweepExecutor
-	queue chan *job
-	wg    sync.WaitGroup
+	reg        *registry.Registry
+	store      *store.Store
+	exec       SweepExecutor
+	queue      chan *job
+	runTimeout time.Duration // 0 = unlimited
+	wg         sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -303,14 +314,15 @@ func New(cfg Config) *Manager {
 		jobCap = 1024
 	}
 	m := &Manager{
-		reg:    cfg.Registry,
-		store:  cfg.Store,
-		exec:   cfg.Sweep,
-		queue:  make(chan *job, depth),
-		jobs:   make(map[string]*job),
-		cache:  make(map[string]*cacheEntry),
-		memCap: memCap,
-		jobCap: jobCap,
+		reg:        cfg.Registry,
+		store:      cfg.Store,
+		exec:       cfg.Sweep,
+		queue:      make(chan *job, depth),
+		jobs:       make(map[string]*job),
+		cache:      make(map[string]*cacheEntry),
+		memCap:     memCap,
+		jobCap:     jobCap,
+		runTimeout: cfg.RunTimeout,
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)

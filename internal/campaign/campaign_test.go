@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -518,5 +519,86 @@ func TestJobRetention(t *testing.T) {
 	final := waitState(t, m, st.ID, terminal)
 	if !final.Cached || final.CacheTier != TierMem {
 		t.Fatalf("resubmit after eviction: cached=%v tier=%s, want mem hit", final.Cached, final.CacheTier)
+	}
+}
+
+// TestRunTimeoutFailsDistinctlyAndIsNotCached pins the per-run
+// wall-clock budget: a run that blows Config.RunTimeout fails its job
+// with the distinct ErrRunTimeout reason (not a cancellation), and the
+// timed-out key is not cached in any tier — unlike deterministic run
+// failures, a timeout depends on the node's clock, so a resubmission
+// must actually recompute (and may succeed).
+func TestRunTimeoutFailsDistinctlyAndIsNotCached(t *testing.T) {
+	var instant atomic.Bool
+	var runs atomic.Int64
+	reg := registry.New(&registry.Experiment{
+		Name: "slow", Doc: "blocks until its context fires, unless flipped fast",
+		ArtifactKinds: []string{"text"},
+		Run: func(ctx context.Context, _ registry.Request) (*registry.Result, error) {
+			runs.Add(1)
+			if instant.Load() {
+				return &registry.Result{Text: "fast\n"}, nil
+			}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	m := New(Config{Registry: reg, Workers: 1, QueueDepth: 8, RunTimeout: 30 * time.Millisecond})
+	defer m.Drain(context.Background())
+
+	spec := Spec{Runs: []RunSpec{{Experiment: "slow", Seed: 1}}}
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, st.ID, terminal)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s (%s), want failed", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, ErrRunTimeout.Error()) {
+		t.Fatalf("job error %q does not carry the timeout reason", final.Error)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("experiment ran %d times, want 1", got)
+	}
+
+	// Same spec, now fast: must recompute (no poisoned cache) and pass.
+	instant.Store(true)
+	st2, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2 := waitState(t, m, st2.ID, terminal)
+	if final2.State != StateDone {
+		t.Fatalf("resubmission state = %s (%s), want done", final2.State, final2.Error)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("experiment ran %d times total, want 2 (timeout must not be cached)", got)
+	}
+	if final2.Cached {
+		t.Fatal("resubmission reported cached; the timed-out key leaked into a cache tier")
+	}
+}
+
+// TestRunTimeoutOffByDefault: without RunTimeout the same blocking run
+// is bounded only by its caller.
+func TestRunTimeoutOffByDefault(t *testing.T) {
+	reg, _, release := testRegistry()
+	m := New(Config{Registry: reg, Workers: 1, QueueDepth: 8})
+	defer m.Drain(context.Background())
+
+	st, err := m.Submit(Spec{Runs: []RunSpec{{Experiment: "gate", Seed: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer than any default anyone might accidentally introduce being
+	// measured in milliseconds; the gate holds the run open across it.
+	time.Sleep(50 * time.Millisecond)
+	if got, _ := m.Get(st.ID); got.State != StateRunning {
+		t.Fatalf("state = %s, want still running with no timeout configured", got.State)
+	}
+	release()
+	if final := waitState(t, m, st.ID, terminal); final.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", final.State, final.Error)
 	}
 }

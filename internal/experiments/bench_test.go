@@ -53,3 +53,17 @@ func BenchmarkTable4ArraySweep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGlitchSearch times the default Monte-Carlo glitch campaign:
+// 81 (offset × width × depth) cells × 6 trials, each trial a snapshot
+// restore + armed boot of the secure-boot ROM. The per-trial cost is
+// dominated by armed per-instruction stepping (the superblock fast path
+// disengages while a glitcher is armed), so this is the indicator for
+// the fault-injection engine's overhead.
+func BenchmarkGlitchSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GlitchSearch(testSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

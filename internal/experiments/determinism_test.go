@@ -138,6 +138,26 @@ func TestRetentionSweepDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestGlitchSearchDeterministicAcrossWorkers: the Monte-Carlo glitch
+// success map is a parallel pure function of its seed — per-trial fault
+// draws come from seeds derived by task index, so worker count and
+// scheduling leave no fingerprint in the map.
+func TestGlitchSearchDeterministicAcrossWorkers(t *testing.T) {
+	render := func() string {
+		r, err := GlitchSearch(testSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.String()
+	}
+	var serial, parallel string
+	withGOMAXPROCS(t, 1, func() { serial = render() })
+	withGOMAXPROCS(t, 4, func() { parallel = render() })
+	if serial != parallel {
+		t.Fatalf("GlitchSearch output depends on worker count:\n1 worker:\n%s\n4 workers:\n%s", serial, parallel)
+	}
+}
+
 // TestCountermeasuresDeterministicAcrossWorkers: the §8 survey rows keep
 // their fixed scenario order and values under fan-out.
 func TestCountermeasuresDeterministicAcrossWorkers(t *testing.T) {

@@ -74,9 +74,18 @@ type Config struct {
 	// Client issues forward requests (default: no-timeout client;
 	// cancellation travels through contexts, simulations can be slow).
 	Client *http.Client
-	// RetryAfter is how long a peer stays marked down after a failed
-	// forward before it is routed to again (default 5s).
+	// RetryAfter is how long a peer stays marked down after its first
+	// failed forward (default 5s). Consecutive failures double the
+	// window — a flapping or dead peer is probed ever less often —
+	// until RetryMax caps it; any successful exchange resets the
+	// backoff to RetryAfter.
 	RetryAfter time.Duration
+	// RetryMax caps the exponential peer-down backoff (default 2m).
+	RetryMax time.Duration
+	// Now is the clock the down-window gating reads (default
+	// time.Now). Injectable so backoff behavior is testable without
+	// real sleeps.
+	Now func() time.Time
 	// Streams is the executor count per peer in a sweep (default 1):
 	// how many shards one peer is asked to work on concurrently.
 	Streams int
@@ -88,6 +97,9 @@ type peerState struct {
 	addr string
 	// downUntil gates routing after a failed forward; zero = ready.
 	downUntil time.Time
+	// failures counts consecutive failed forwards; it scales the
+	// backoff window and resets on any successful exchange.
+	failures int
 	// incompatible marks a fingerprint mismatch: never routed again
 	// (a restart with a matching catalog re-creates the Node anyway).
 	incompatible bool
@@ -146,6 +158,12 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 5 * time.Second
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Minute
+	}
+	if cfg.RetryMax < cfg.RetryAfter {
+		cfg.RetryMax = cfg.RetryAfter
 	}
 	if cfg.Streams <= 0 {
 		cfg.Streams = 1
@@ -240,7 +258,7 @@ func (n *Node) Status() Status {
 		switch {
 		case p.incompatible:
 			state = "incompatible"
-		case time.Now().Before(p.downUntil):
+		case n.now().Before(p.downUntil):
 			state = "down"
 		}
 		st.Peers = append(st.Peers, PeerStatus{ID: p.id, Addr: p.addr, State: state})
@@ -297,15 +315,53 @@ func (n *Node) probe(ctx context.Context, p *peerState) error {
 	}
 	p.incompatible = false
 	p.downUntil = time.Time{}
+	p.failures = 0
 	return nil
+}
+
+// now reads the injectable clock.
+func (n *Node) now() time.Time {
+	if n.cfg.Now != nil {
+		return n.cfg.Now()
+	}
+	return time.Now()
 }
 
 func (n *Node) markDown(id string) {
 	n.mu.Lock()
 	if p, ok := n.peers[id]; ok {
-		p.downUntil = time.Now().Add(n.cfg.RetryAfter)
+		p.failures++
+		p.downUntil = n.now().Add(backoffWindow(n.cfg.RetryAfter, n.cfg.RetryMax, p.failures))
 	}
 	n.mu.Unlock()
+}
+
+// markUp records a successful exchange with a peer: the consecutive-
+// failure count and any pending down-window are cleared, so the next
+// failure starts the backoff from RetryAfter again.
+func (n *Node) markUp(id string) {
+	n.mu.Lock()
+	if p, ok := n.peers[id]; ok {
+		p.failures = 0
+		p.downUntil = time.Time{}
+	}
+	n.mu.Unlock()
+}
+
+// backoffWindow is the down-window after the failures-th consecutive
+// failure: base doubled per failure, capped at max.
+func backoffWindow(base, max time.Duration, failures int) time.Duration {
+	w := base
+	for i := 1; i < failures; i++ {
+		if w >= max/2 {
+			return max
+		}
+		w *= 2
+	}
+	if w > max {
+		return max
+	}
+	return w
 }
 
 func (n *Node) markIncompatible(id string) {
@@ -324,7 +380,7 @@ func (n *Node) routable(id string) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	p, ok := n.peers[id]
-	return ok && !p.incompatible && !time.Now().Before(p.downUntil)
+	return ok && !p.incompatible && !n.now().Before(p.downUntil)
 }
 
 // executorFor picks the executor a shard is initially queued on: the
@@ -615,8 +671,12 @@ func (n *Node) forward(ctx context.Context, id string, sh campaign.Shard) (json.
 			n.markDown(id)
 			return nil, "", err
 		}
+		n.markUp(id)
 		return rec, campaign.Tier(resp.Header.Get("X-Cache")), nil
 	case http.StatusUnprocessableEntity:
+		// The run failed but the peer is alive and serving: reset its
+		// backoff along with the error report.
+		n.markUp(id)
 		var e struct {
 			Error string `json:"error"`
 		}

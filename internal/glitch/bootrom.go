@@ -1,0 +1,175 @@
+// The secure-boot ROM the glitch campaigns attack: a mask-ROM verifier
+// written in the vbasm ISA. It hashes a staged boot image word by word
+// (FNV-1a, the same construction the SoC's firmware-register scrambles
+// use elsewhere in the repo), compares the digest against an expected
+// value baked into the ROM, and either marks the boot good and jumps
+// into the image, or records a lock-down and halts. The verify tail is
+// the classic glitch target pair:
+//
+//   - check-skip: the hash loop exits through CMP x0,x1 / B.GE with
+//     Z == 1 (the pointer equals the end address), and no instruction
+//     between that exit and the final CMP touches the flags. Skipping
+//     the final CMP therefore leaves Z == 1 standing, B.NE falls
+//     through, and a tampered image boots.
+//   - verify-bypass: inverting the B.NE itself boots the tampered image
+//     with the mismatch fully computed.
+package glitch
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Well-known values the ROM and its experiments share.
+const (
+	// BootMagic is stored to StatusAddr just before the ROM jumps into a
+	// verified (or glitched-past-verification) image.
+	BootMagic = uint64(0x600DB0075EC0DE00)
+	// LockMagic is stored to StatusAddr when verification fails.
+	LockMagic = uint64(0x10CDDEAD10CDDEAD)
+	// LockHaltCode is the HLT immediate of the lock-down path.
+	LockHaltCode = int64(0x10C)
+	// ProofMagic is what the demo image writes to its proof address when
+	// it actually runs — the ground truth that a bypass executed
+	// attacker code, not just skidded past the check.
+	ProofMagic = uint64(0x700DFEEDF00DFEED)
+
+	fnvBasis = uint64(0xCBF29CE484222325)
+	fnvPrime = uint64(0x100000001B3)
+)
+
+// BootROM is an assembled secure-boot verifier plus the addresses the
+// glitch experiments aim at.
+type BootROM struct {
+	// Words is the ROM image, fetched from isa-visible ROMBase (the
+	// caller programs it with soc.ProgramROM).
+	Words []uint32
+	// Entry is the reset address (the base the ROM was assembled at).
+	Entry uint64
+	// HashDonePC is the first instruction after the hash loop — the
+	// natural fetch-address trigger for offset sweeps over the verify
+	// tail.
+	HashDonePC uint64
+	// CheckPC is the final CMP comparing the computed digest against
+	// the expected one.
+	CheckPC uint64
+	// BranchPC is the B.NE that routes a mismatch to lock-down.
+	BranchPC uint64
+
+	// ImageBase/ImageWords locate the staged image the ROM verifies and
+	// jumps to; StatusAddr is where it records the boot outcome.
+	ImageBase  uint64
+	ImageWords int
+	StatusAddr uint64
+	// Expected is the digest baked into the ROM.
+	Expected uint64
+}
+
+// HashImage computes the ROM's digest of an image: FNV-1a over the
+// 32-bit words, matching the LDRW (zero-extending) / EOR / MUL loop.
+func HashImage(words []uint32) uint64 {
+	h := fnvBasis
+	for _, w := range words {
+		h ^= uint64(w)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// BuildBootROM assembles the verifier at base for the given genuine
+// image (its digest becomes the ROM's expected value), staged at
+// imageBase with the boot status word at statusAddr.
+func BuildBootROM(base uint64, image []uint32, imageBase, statusAddr uint64) (*BootROM, error) {
+	if len(image) == 0 {
+		return nil, fmt.Errorf("glitch: empty boot image")
+	}
+	expected := HashImage(image)
+	imageEnd := imageBase + uint64(len(image))*4
+	src := fmt.Sprintf(`
+		; secure boot: hash the staged image, verify, jump or lock down
+		LDIMM X0, #%#x          ; image cursor
+		LDIMM X1, #%#x          ; image end
+		LDIMM X2, #%#x          ; h = FNV offset basis
+		LDIMM X3, #%#x          ; FNV prime
+hash_loop:
+		CMP X0, X1
+		B.GE hash_done          ; loop exits with Z=1 (cursor == end)
+		LDRW X4, [X0]
+		EOR X2, X2, X4
+		MUL X2, X2, X3
+		ADDI X0, X0, #4
+		B hash_loop
+hash_done:
+		LDIMM X5, #%#x          ; expected digest (no flag writes since exit)
+		CMP X2, X5              ; <- check-skip target
+		B.NE lockdown           ; <- verify-bypass target
+		LDIMM X6, #%#x          ; BootMagic
+		LDIMM X7, #%#x          ; status word
+		STR X6, [X7]
+		LDIMM X8, #%#x          ; image entry
+		RET X8
+lockdown:
+		LDIMM X6, #%#x          ; LockMagic
+		LDIMM X7, #%#x
+		STR X6, [X7]
+		HLT #%#x
+`, imageBase, imageEnd, fnvBasis, fnvPrime, expected,
+		BootMagic, statusAddr, imageBase,
+		LockMagic, statusAddr, LockHaltCode)
+	words, err := isa.Assemble(base, src)
+	if err != nil {
+		return nil, fmt.Errorf("glitch: assembling boot ROM: %w", err)
+	}
+	// Fixed layout (LDIMM = 4 words): preamble 16, loop 7, then the
+	// verify tail. Pinned by TestBootROMLayout against the decode.
+	const hashDoneIdx = 16 + 7
+	rom := &BootROM{
+		Words:      words,
+		Entry:      base,
+		HashDonePC: base + 4*hashDoneIdx,
+		CheckPC:    base + 4*(hashDoneIdx+4),
+		BranchPC:   base + 4*(hashDoneIdx+5),
+		ImageBase:  imageBase,
+		ImageWords: len(image),
+		StatusAddr: statusAddr,
+		Expected:   expected,
+	}
+	if in := isa.Decode(words[(rom.CheckPC-base)/4]); in.Op != isa.OpSUBS || in.Rd != isa.XZR {
+		return nil, fmt.Errorf("glitch: boot ROM layout drifted: CheckPC is %v, want CMP", in.Op)
+	}
+	if in := isa.Decode(words[(rom.BranchPC-base)/4]); in.Op != isa.OpBCond {
+		return nil, fmt.Errorf("glitch: boot ROM layout drifted: BranchPC is %v, want B.NE", in.Op)
+	}
+	return rom, nil
+}
+
+// BuildDemoImage assembles the genuine staged payload: it proves
+// execution by writing ProofMagic to proofAddr, halts, and carries one
+// trailing data word that is never executed — the word TamperImage
+// flips, so a tampered image still executes cleanly if a glitch boots
+// it.
+func BuildDemoImage(imageBase, proofAddr uint64) ([]uint32, error) {
+	src := fmt.Sprintf(`
+		LDIMM X10, #%#x
+		LDIMM X11, #%#x
+		STR X10, [X11]
+		HLT #0
+		.word 0x0DDC0FFE        ; image version tag (data; tamper target)
+`, ProofMagic, proofAddr)
+	words, err := isa.Assemble(imageBase, src)
+	if err != nil {
+		return nil, fmt.Errorf("glitch: assembling demo image: %w", err)
+	}
+	return words, nil
+}
+
+// TamperImage returns a copy of the image with one bit flipped in its
+// trailing data word — the supply-chain modification secure boot exists
+// to reject.
+func TamperImage(image []uint32) []uint32 {
+	out := make([]uint32, len(image))
+	copy(out, image)
+	out[len(out)-1] ^= 1
+	return out
+}

@@ -106,6 +106,12 @@ type CPU struct {
 	// at construction so Step avoids a per-instruction type assertion.
 	decBus DecodedBus
 
+	// Fault, when non-nil, is consulted before every instruction and may
+	// replace its execution with an injected fault (see FaultInjector).
+	// Nil for a CPU with no glitcher attached: the hot path pays exactly
+	// one nil check.
+	Fault FaultInjector
+
 	// Halted is set by HLT; HaltCode carries its immediate.
 	Halted   bool
 	HaltCode int64
@@ -263,6 +269,18 @@ func (c *CPU) Step() error {
 //
 //voltvet:hotpath
 func (c *CPU) ExecDecoded(in Instr, word uint32) error {
+	if c.Fault != nil {
+		if d := c.Fault.OnInstr(c, in); d.Kind != FaultNone {
+			return c.execFaulted(in, word, d)
+		}
+	}
+	return c.exec(in, word)
+}
+
+// exec is the fault-free execute-and-retire body behind ExecDecoded.
+//
+//voltvet:hotpath
+func (c *CPU) exec(in Instr, word uint32) error {
 	next := c.PC + 4
 
 	switch in.Op {

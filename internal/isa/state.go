@@ -14,11 +14,23 @@ type CPUState struct {
 	RAMStatus uint64
 	SCRNS     uint64
 	NSLocked  bool
+	// Fault carries the attached fault injector and its captured state
+	// (nil when no injector was attached at capture time), so glitched
+	// trials fork from snapshots like everything else: a restore rebinds
+	// the injector and rewinds its internals — trigger arming, pulse
+	// position, and RNG stream included.
+	Fault *faultSnap
+}
+
+// faultSnap pairs the injector reference with its opaque captured state.
+type faultSnap struct {
+	inj FaultInjector
+	st  any
 }
 
 // CaptureState returns the core's current flop state.
 func (c *CPU) CaptureState() CPUState {
-	return CPUState{
+	st := CPUState{
 		EL:        c.EL,
 		PC:        c.PC,
 		Flags:     c.Flags,
@@ -30,6 +42,10 @@ func (c *CPU) CaptureState() CPUState {
 		SCRNS:     c.scrNS,
 		NSLocked:  c.NSLocked,
 	}
+	if c.Fault != nil {
+		st.Fault = &faultSnap{inj: c.Fault, st: c.Fault.CaptureState()}
+	}
+	return st
 }
 
 // RestoreState rewinds the core's flop state to st.
@@ -44,4 +60,10 @@ func (c *CPU) RestoreState(st CPUState) {
 	c.ramStatus = st.RAMStatus
 	c.scrNS = st.SCRNS
 	c.NSLocked = st.NSLocked
+	if st.Fault != nil {
+		c.Fault = st.Fault.inj
+		c.Fault.RestoreState(st.Fault.st)
+	} else {
+		c.Fault = nil
+	}
 }

@@ -45,7 +45,7 @@ func DefaultConfig() *Config {
 			"internal/board", "internal/power", "internal/kernel",
 			"internal/sim", "internal/aes", "internal/puf",
 			"internal/xrand", "internal/analysis", "internal/experiments",
-			"internal/vimg", "internal/runner",
+			"internal/vimg", "internal/runner", "internal/glitch",
 		},
 		ServicePkgs: []string{
 			"internal/campaign", "internal/api", "internal/registry",

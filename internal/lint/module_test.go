@@ -101,6 +101,7 @@ func TestDeterministicImportGraph(t *testing.T) {
 var hotpathChain = []string{
 	"(*repro/internal/isa.CPU).ExecDecoded",
 	"(*repro/internal/isa.CPU).Step",
+	"(*repro/internal/isa.CPU).exec",
 	"(*repro/internal/soc.SoC).FetchDecoded",
 	"(*repro/internal/soc.SoC).Load",
 	"(*repro/internal/soc.SoC).Store",

@@ -196,6 +196,27 @@ func (d *Domain) Droop(sagVolts float64, duration sim.Time) {
 	d.Reresolve()
 }
 
+// PulseDown opens a glitch pulse: the rail is forced to sagVolts
+// immediately, without advancing the simulation clock — the glitcher
+// steps instructions inside the pulse and closes it with PulseEnd.
+// Loads see the falling edge at once, so SRAM decay bookkeeping on the
+// glitched domain covers exactly the pulse window.
+func (d *Domain) PulseDown(sagVolts float64) {
+	if sagVolts < 0 {
+		sagVolts = 0
+	}
+	d.env.Logf("power", "domain %s glitch pulse to %.2fV", d.name, sagVolts)
+	d.setVolts(sagVolts)
+}
+
+// PulseEnd closes a glitch pulse opened by PulseDown: the clock advances
+// by the pulse width and the rail re-resolves to whatever its sources
+// offer, pushing the rising edge to every load.
+func (d *Domain) PulseEnd(width sim.Time) {
+	d.env.Advance(width)
+	d.Reresolve()
+}
+
 // Regulator is one output channel of the PMIC. It offers the domain's
 // nominal voltage while both the PMIC input supply is present and the
 // channel is enabled.

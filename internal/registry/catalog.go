@@ -2,7 +2,9 @@ package registry
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -272,6 +274,75 @@ func Default() *Registry {
 				return experiments.MCUAttack(seed)
 			}),
 		},
+		&Experiment{
+			Name: "glitchboot-check-skip", Doc: "voltage glitch skips the secure-boot digest compare",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.GlitchBootCheckSkip(seed)
+			}),
+		},
+		&Experiment{
+			Name: "glitchboot-verify-bypass", Doc: "voltage glitch inverts the secure-boot mismatch branch",
+			ArtifactKinds: []string{"text"},
+			Run: textOnly(func(_ context.Context, seed uint64) (fmt.Stringer, error) {
+				return experiments.GlitchBootVerifyBypass(seed)
+			}),
+		},
+		&Experiment{
+			Name: "glitch-search", Doc: "Monte-Carlo glitch parameter search over (offset × width × depth)",
+			ArtifactKinds: []string{"text", "json"},
+			Params: []ParamSpec{
+				{
+					Name: "offsets", Kind: FloatListKind,
+					Default: uintListDefault(experiments.GlitchSearchOffsets()),
+					Doc:     "instruction offsets from the hash-done trigger",
+				},
+				{
+					Name: "widths", Kind: FloatListKind,
+					Default: uintListDefault(experiments.GlitchSearchWidths()),
+					Doc:     "pulse widths in instructions",
+				},
+				{
+					Name: "depths", Kind: FloatListKind,
+					Default: floatListDefault(experiments.GlitchSearchDepths()),
+					Doc:     "pulse depths in volts below nominal",
+				},
+				{
+					Name: "trials", Kind: Uint64Kind, Default: "6",
+					Doc: "Monte-Carlo trials per cell",
+				},
+			},
+			Run: func(ctx context.Context, req Request) (*Result, error) {
+				offsets, err := parseUintList(req.Params["offsets"])
+				if err != nil {
+					return nil, err
+				}
+				widths, err := parseUintList(req.Params["widths"])
+				if err != nil {
+					return nil, err
+				}
+				depths, err := ParseFloatList(req.Params["depths"])
+				if err != nil {
+					return nil, err
+				}
+				trials, err := strconv.ParseUint(req.Params["trials"], 0, 32)
+				if err != nil {
+					return nil, fmt.Errorf("registry: parsing trials: %w", err)
+				}
+				r, err := experiments.GlitchSearchCtx(ctx, req.Seed, offsets, widths, depths, int(trials))
+				if err != nil {
+					return nil, err
+				}
+				blob, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				return &Result{
+					Text:      r.String(),
+					Artifacts: []Artifact{{Name: "glitch_success_map.json", Data: blob}},
+				}, nil
+			},
+		},
 	)
 }
 
@@ -292,6 +363,33 @@ func floatListDefault(fs []float64) string {
 		parts[i] = fmt.Sprintf("%g", f)
 	}
 	return strings.Join(parts, ",")
+}
+
+func uintListDefault(us []uint64) string {
+	parts := make([]string, len(us))
+	for i, u := range us {
+		parts[i] = strconv.FormatUint(u, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseUintList parses a FloatListKind value whose entries must be
+// non-negative integers (the float-list kind keeps the CLI surface
+// uniform; glitch axes are integral).
+func parseUintList(v string) ([]uint64, error) {
+	fs, err := ParseFloatList(v)
+	if err != nil {
+		return nil, err
+	}
+	us := make([]uint64, len(fs))
+	for i, f := range fs {
+		u := uint64(f)
+		if float64(u) != f {
+			return nil, fmt.Errorf("registry: %g is not a non-negative integer", f)
+		}
+		us[i] = u
+	}
+	return us, nil
 }
 
 func offTimesDefaultMs() string {

@@ -6,9 +6,10 @@ import (
 	"testing"
 )
 
-// catalogNames is the exact catalog of the pre-registry cmd/experiments
-// main, in print order. The registry refactor must not rename, reorder,
-// add or drop anything.
+// catalogNames pins the default catalog in print order. The first 25
+// entries are the exact catalog of the pre-registry cmd/experiments
+// main — the registry refactor must not rename, reorder or drop any of
+// them; later additions append here when they land.
 var catalogNames = []string{
 	"table1", "figure3", "table2", "table3", "figure4", "figure5",
 	"figure6", "figure7", "figure8", "table4", "section7.2", "section6.2",
@@ -17,6 +18,7 @@ var catalogNames = []string{
 	"ablationD-imprint", "ablationE-history-theft", "caselock",
 	"ablationF-warm-reboot", "ablationG-context-switch",
 	"ablationH-puf-clone", "mcu-extension",
+	"glitchboot-check-skip", "glitchboot-verify-bypass", "glitch-search",
 }
 
 // slowNames pins the slow flags of the pre-registry catalog.

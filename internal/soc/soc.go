@@ -467,6 +467,43 @@ func (s *SoC) Boot(img *BootImage) error {
 	return nil
 }
 
+// ProgramROM replaces the start of the mask ROM with the given firmware
+// words (fetched from ROMBase). Real silicon masks its ROM at the fab;
+// the simulator exposes the step so experiments can install a specific
+// boot ROM — e.g. the glitch campaigns' secure-boot verifier — before
+// the scenario runs. It is a build-time operation, not an architectural
+// write: call it before capturing snapshots (ROM bytes are nonvolatile
+// and outside snapshot state, exactly like the spec).
+func (s *SoC) ProgramROM(words []uint32) error {
+	if len(words)*4 > len(s.rom) {
+		return fmt.Errorf("soc: ROM image %d words exceeds %d-byte ROM", len(words), len(s.rom))
+	}
+	for i, w := range words {
+		off := i * 4
+		s.rom[off] = byte(w)
+		s.rom[off+1] = byte(w >> 8)
+		s.rom[off+2] = byte(w >> 16)
+		s.rom[off+3] = byte(w >> 24)
+	}
+	// ROM-mode derived state is stamped with the constant generation 0
+	// (predecGen treats the mask ROM as immutable), so rewriting the ROM
+	// must drop stale entries by hand — a generation bump cannot retire
+	// them.
+	for _, c := range s.Cores {
+		for i := range c.predec {
+			if c.predec[i].mode == predecROM {
+				c.predec[i] = predecEntry{}
+			}
+		}
+		for i := range c.sblocks {
+			if c.sblocks[i].mode == predecROM {
+				c.sblocks[i].n = 0
+			}
+		}
+	}
+	return nil
+}
+
 // allArrays enumerates every on-chip SRAM array.
 func (s *SoC) allArrays() []*sram.Array {
 	var out []*sram.Array

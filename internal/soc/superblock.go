@@ -214,6 +214,19 @@ func (s *SoC) RunCoreQuantum(id int, maxInstr uint64) (uint64, error) {
 	}
 	var n uint64
 	for !cpu.Halted && n < maxInstr {
+		// An attached fault injector (an armed glitcher) must observe
+		// every instruction on the per-instruction path: the pulse edges
+		// it drives are rail events, which the superblock soundness
+		// argument assumes happen between quanta, never inside a block.
+		// The injector detaches when its shot completes, so only the
+		// armed window pays for single-stepping.
+		if cpu.Fault != nil {
+			if err := cpu.Step(); err != nil {
+				return n, err
+			}
+			n++
+			continue
+		}
 		b := &c.sblocks[(cpu.PC>>2)&(sbSlots-1)]
 		if b.n == 0 || b.addr != cpu.PC || b.gen != s.predecGen(c, b.mode) {
 			s.buildSuperblock(c, b, cpu.PC)

@@ -29,6 +29,7 @@ echo "==> micro-benchmarks (2s each)"
 go test -run '^$' -bench 'BenchmarkCPUStep$' -benchtime 2s ./internal/soc/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkCacheAccessHit$|BenchmarkCacheAccessMiss$' -benchtime 2s ./internal/cache/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkOSWorkloadIPS$' -benchtime 2s ./internal/kernel/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkCPUStepGlitchDisarmed$' -benchtime 2s ./internal/glitch/ | tee -a "$tmp"
 
 echo "==> campaign service throughput (2s)"
 go test -run '^$' -bench 'BenchmarkCampaignSubmitCached$' -benchtime 2s ./internal/api/ | tee -a "$tmp"
@@ -40,7 +41,7 @@ echo "==> fabric sharded sweep (2s)"
 go test -run '^$' -bench 'BenchmarkFabricSweepCached$' -benchtime 2s ./internal/api/ | tee -a "$tmp"
 
 echo "==> experiment benchmarks (-benchtime ${BENCHTIME})"
-go test -run '^$' -bench 'BenchmarkFigure7ColdBoot$|BenchmarkFigure8OSScenario$|BenchmarkTable4ArraySweep$' \
+go test -run '^$' -bench 'BenchmarkFigure7ColdBoot$|BenchmarkFigure8OSScenario$|BenchmarkTable4ArraySweep$|BenchmarkGlitchSearch$' \
 	-benchtime "$BENCHTIME" ./internal/experiments/ | tee -a "$tmp"
 
 # The commit field is always the clean HEAD hash; working-tree state is

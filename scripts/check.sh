@@ -28,13 +28,18 @@ echo "==> fabric: N-node harness under -race (sharded sweeps, restart, drain han
 go test -race -count=1 ./internal/fabric/
 go test -race -count=1 -run 'TestFabric' ./internal/api/
 
+echo "==> glitch engine: full -race pass (triggers, faults, snapshot compose, cross-domain isolation)"
+go test -race -count=1 ./internal/glitch/
+
 echo "==> benchmark smoke (1 iteration)"
 go test -run '^$' -bench 'ResolveDecay|PowerUpAll|FractionalHD|FractionOnes|SnapshotRestore' -benchtime 1x ./internal/sram/ ./internal/analysis/
 go test -run '^$' -bench 'CPUStep|CacheAccessHit|CacheAccessMiss|OSWorkloadIPS' -benchtime 1x ./internal/soc/ ./internal/cache/ ./internal/kernel/
+go test -run '^$' -bench 'CPUStepGlitchDisarmed' -benchtime 1x ./internal/glitch/
 go test -run '^$' -bench 'Figure7ColdBoot|Figure8OSScenario' -benchtime 1x ./internal/experiments/
 
 echo "==> allocation-free fast-path gates"
 go test -run 'StepSteadyStateZeroAlloc' -count=1 ./internal/soc/
+go test -run 'StepGlitchDisarmedZeroAlloc' -count=1 ./internal/glitch/
 go test -run 'AccessHitPathAllocFree|LineTransferAllocFree' -count=1 ./internal/cache/
 
 echo "OK"
