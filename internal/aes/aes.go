@@ -54,6 +54,12 @@ func init() {
 	}
 }
 
+// SBox returns the forward S-box substitution of x. The side-channel
+// stack uses it on both sides of the attack: the trace victim stages
+// the table into DRAM for its SubBytes lookups, and the CPA hypothesis
+// model predicts the Hamming weight of SBox(plaintext ^ guess).
+func SBox(x byte) byte { return sbox[x] }
+
 func rotl8(x byte, k uint) byte { return x<<k | x>>(8-k) }
 
 // gmul multiplies in GF(2^8) with the AES polynomial.

@@ -392,3 +392,77 @@ func BenchmarkFabricSweepCached(b *testing.B) {
 		submit()
 	}
 }
+
+// TestFabricSCACPAByteIdentical runs the CPA side-channel campaign
+// through the whole distributed stack: a 3-node fleet sharding a
+// seed sweep of sca-cpa runs produces a result body — binary packed
+// trace sets and key-rank JSON included — byte-identical to one
+// standalone node, and the raw trace artifact fetched over the
+// artifact route matches byte-for-byte too.
+func TestFabricSCACPAByteIdentical(t *testing.T) {
+	const runs = 4
+	var b strings.Builder
+	b.WriteString(`{"wait":true,"runs":[`)
+	for i := 0; i < runs; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"experiment":"sca-cpa","seed":%d,"params":{`, i)
+		b.WriteString(`"traces":"8","samples-window":"192","noise-sigma":"0.5"}}`)
+	}
+	b.WriteString(`]}`)
+	body := b.String()
+
+	soloReg := registry.Default()
+	soloMgr := campaign.New(campaign.Config{Registry: soloReg, Workers: 2, QueueDepth: 32})
+	soloTS := httptest.NewServer(New(soloMgr, soloReg, nil))
+	t.Cleanup(func() {
+		soloTS.Close()
+		_ = soloMgr.Drain(context.Background())
+	})
+	soloSt, soloBody, soloResp := submitWait(t, soloTS.URL, body)
+	if !bytes.Contains(soloBody, []byte("cpa_keyrank.json")) {
+		t.Fatalf("campaign output carries no key-rank artifact:\n%.2000s", soloBody)
+	}
+	if !bytes.Contains(soloBody, []byte("cpa_traces.vbtr")) {
+		t.Fatalf("campaign output carries no trace artifact:\n%.2000s", soloBody)
+	}
+
+	fleet := startFleetReg(t, 3, nil, registry.Default)
+	fleetSt, gotBody, gotResp := submitWait(t, fleet[0].ts.URL, body)
+	if !bytes.Equal(gotBody, soloBody) {
+		t.Fatalf("sharded sca-cpa body differs from single-node body (%d vs %d bytes)",
+			len(gotBody), len(soloBody))
+	}
+	if se, ge := soloResp.Header.Get("ETag"), gotResp.Header.Get("ETag"); se != ge {
+		t.Fatalf("ETag differs: solo %s, fleet %s", se, ge)
+	}
+	if st := fleet[0].node.Status(); st.Stats.ForwardedOut == 0 {
+		t.Fatalf("no forwards recorded: %+v", st.Stats)
+	}
+
+	// The raw artifact route returns identical bytes from both worlds.
+	fetch := func(base, id string) []byte {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/result/artifacts/1/cpa_traces.vbtr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("artifact GET: %d %s", resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+			t.Fatalf("trace artifact served as %q", ct)
+		}
+		return raw
+	}
+	soloArt := fetch(soloTS.URL, soloSt.ID)
+	fleetArt := fetch(fleet[0].ts.URL, fleetSt.ID)
+	if len(soloArt) == 0 || !bytes.Equal(soloArt, fleetArt) {
+		t.Fatalf("trace artifact differs across the fabric (%d vs %d bytes)", len(soloArt), len(fleetArt))
+	}
+}

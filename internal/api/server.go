@@ -9,6 +9,8 @@
 //	GET    /v1/jobs                  list jobs
 //	GET    /v1/jobs/{id}             one job's status + progress counters
 //	GET    /v1/jobs/{id}/result      the deterministic result body
+//	GET    /v1/jobs/{id}/result/artifacts/{run}/{name}
+//	                                 one artifact's raw bytes (typed per kind)
 //	DELETE /v1/jobs/{id}             cancel
 //	GET    /v1/jobs/{id}/events      NDJSON progress stream, replay + live
 //	GET    /v1/ring                  fabric membership, peer states, stats
@@ -67,6 +69,7 @@ func New(mgr *campaign.Manager, reg *registry.Registry, node *fabric.Node) *Serv
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result/artifacts/{run}/{name}", s.handleArtifact)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
@@ -275,6 +278,63 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(rb.Body)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(rb.Body)
+}
+
+// handleArtifact serves one artifact of one run as raw bytes with the
+// Content-Type its kind declares — the escape hatch from the JSON
+// result body for binary payloads (trace sets, bitmaps) that clients
+// should not have to base64-decode. The ETag is the artifact's own
+// SHA-256, so a revalidation doesn't depend on which runs share the
+// job.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rb, err := s.mgr.Result(id)
+	switch {
+	case errors.Is(err, campaign.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, campaign.ErrNotFinished):
+		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	runIdx, err := strconv.Atoi(r.PathValue("run"))
+	if err != nil || runIdx < 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("bad run index %q", r.PathValue("run")))
+		return
+	}
+	var body struct {
+		Runs []campaign.RunRecord `json:"runs"`
+	}
+	if err := json.Unmarshal(rb.Body, &body); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("corrupt result body: %w", err))
+		return
+	}
+	if runIdx >= len(body.Runs) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job has %d runs, no run %d", len(body.Runs), runIdx))
+		return
+	}
+	name := r.PathValue("name")
+	for _, a := range body.Runs[runIdx].Artifacts {
+		if a.Name != name {
+			continue
+		}
+		etag := `"` + a.SHA256 + `"`
+		w.Header().Set("X-Cache", string(rb.Tier))
+		w.Header().Set("ETag", etag)
+		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", registry.ArtifactContentType(a.Kind))
+		w.Header().Set("Content-Length", strconv.Itoa(len(a.Data)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(a.Data)
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("run %d has no artifact %q", runIdx, name))
 }
 
 // etagMatch reports whether an If-None-Match header value matches the

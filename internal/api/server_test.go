@@ -544,3 +544,86 @@ func TestConcurrentClientsCacheConvergence(t *testing.T) {
 		t.Fatalf("%d/%d clients served from cache, want ≥ %d", cached, clients, clients-1)
 	}
 }
+
+// TestArtifactRoute serves a binary artifact through the raw-bytes
+// route: a multi-MB blob covering every byte value survives the
+// JSON result body and comes back byte-identical, typed by its kind,
+// with a per-artifact ETag honoring If-None-Match.
+func TestArtifactRoute(t *testing.T) {
+	blob := make([]byte, 2<<20)
+	for i := range blob {
+		blob[i] = byte(i * 131)
+	}
+	reg := registry.New(&registry.Experiment{
+		Name: "blob", Doc: "binary artifact source", ArtifactKinds: []string{"text", "trace"},
+		Run: func(_ context.Context, _ registry.Request) (*registry.Result, error) {
+			return &registry.Result{
+				Text: "blob\n",
+				Artifacts: []registry.Artifact{
+					{Name: "payload.vbtr", Kind: "trace", Data: blob},
+				},
+			}, nil
+		},
+	})
+	mgr := campaign.New(campaign.Config{Registry: reg, Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(New(mgr, reg, nil))
+	defer func() {
+		ts.Close()
+		_ = mgr.Drain(context.Background())
+	}()
+
+	st, _, _ := submitWait(t, ts.URL, `{"wait":true,"runs":[{"experiment":"blob"}]}`)
+	url := ts.URL + "/v1/jobs/" + st.ID + "/result/artifacts/0/payload.vbtr"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact GET: %d %s", resp.StatusCode, got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("trace artifact served as %q", ct)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprint(len(blob)) {
+		t.Errorf("Content-Length = %s, want %d", cl, len(blob))
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("artifact bytes corrupted in transit: %d bytes back, want %d", len(got), len(blob))
+	}
+
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("artifact response carries no ETag")
+	}
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("revalidation = %d, want 304", resp2.StatusCode)
+	}
+
+	for _, bad := range []string{
+		"/v1/jobs/" + st.ID + "/result/artifacts/0/nonesuch.bin",
+		"/v1/jobs/" + st.ID + "/result/artifacts/7/payload.vbtr",
+		"/v1/jobs/" + st.ID + "/result/artifacts/x/payload.vbtr",
+		"/v1/jobs/nonesuch/result/artifacts/0/payload.vbtr",
+	} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", bad, resp.StatusCode)
+		}
+	}
+}

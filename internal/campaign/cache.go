@@ -75,9 +75,13 @@ type RunRecord struct {
 }
 
 // ArtifactRecord carries one binary artifact of a run. Data is base64 in
-// JSON (encoding/json's []byte convention).
+// JSON (encoding/json's []byte convention), so arbitrary binary payloads
+// — packed trace sets included — survive the store and the fabric
+// byte-identically; SHA256 and Size let consumers check that without
+// decoding.
 type ArtifactRecord struct {
 	Name   string `json:"name"`
+	Kind   string `json:"kind,omitempty"`
 	SHA256 string `json:"sha256"`
 	Size   int    `json:"size"`
 	Data   []byte `json:"data"`
@@ -236,6 +240,7 @@ func (m *Manager) computeRun(ctx context.Context, rs RunSpec, key string) (json.
 		sum := sha256.Sum256(a.Data)
 		rec.Artifacts = append(rec.Artifacts, ArtifactRecord{
 			Name:   a.Name,
+			Kind:   a.Kind,
 			SHA256: hex.EncodeToString(sum[:]),
 			Size:   len(a.Data),
 			Data:   a.Data,

@@ -14,6 +14,12 @@ import (
 	"repro/internal/soc"
 )
 
+// boardHook, when non-nil, is called on every board the experiments
+// build, right after power-up. It exists for one test: proving that an
+// armed trace capturer on every board leaves every experiment's golden
+// output byte-identical (capture is architecturally invisible).
+var boardHook func(*board.Board)
+
 // newBoard builds a powered board for an experiment run.
 func newBoard(spec soc.DeviceSpec, opts soc.Options, seed uint64) (*board.Board, *sim.Env, error) {
 	env := sim.NewEnv()
@@ -22,6 +28,9 @@ func newBoard(spec soc.DeviceSpec, opts soc.Options, seed uint64) (*board.Board,
 		return nil, nil, err
 	}
 	b.ConnectMain()
+	if boardHook != nil {
+		boardHook(b)
+	}
 	return b, env, nil
 }
 
@@ -39,6 +48,9 @@ func newTrialBoard(spec soc.DeviceSpec, opts soc.Options, seed uint64) (*board.B
 		return nil, nil, err
 	}
 	b.ConnectMain()
+	if boardHook != nil {
+		boardHook(b)
+	}
 	return b, env, nil
 }
 

@@ -112,6 +112,15 @@ type CPU struct {
 	// one nil check.
 	Fault FaultInjector
 
+	// Sink, when non-nil, receives one power sample per retired
+	// instruction (see TraceSink) — the hot half of the power-trace
+	// capture tap. Nil for a CPU with no capturer armed: like Fault,
+	// the disarmed cost is one nil check. Probe is the matching cold
+	// half — the capturer's snapshot handle — and the two are always
+	// attached and detached together.
+	Sink  *TraceSink
+	Probe TraceProbe
+
 	// Halted is set by HLT; HaltCode carries its immediate.
 	Halted   bool
 	HaltCode int64
@@ -273,6 +282,9 @@ func (c *CPU) ExecDecoded(in Instr, word uint32) error {
 		if d := c.Fault.OnInstr(c, in); d.Kind != FaultNone {
 			return c.execFaulted(in, word, d)
 		}
+	}
+	if c.Sink != nil {
+		return c.execProbed(in, word)
 	}
 	return c.exec(in, word)
 }

@@ -1,0 +1,107 @@
+package isa
+
+import "math/bits"
+
+// TraceSink is the sample buffer an armed power-trace capturer shares
+// with the hardware it taps: the core's retire path, the register
+// file's writeback path, and the SoC interconnect all write switching
+// activity straight into the sink's fields. It is a concrete struct —
+// not an interface — deliberately: the armed emit path runs once per
+// retired instruction, and direct, inlinable field arithmetic is what
+// keeps the armed step overhead inside its budget. The capturer in
+// internal/trace owns the sink and attaches a pointer to it at each
+// tap point on Arm; a detached (nil) sink costs each tap one nil
+// check, the same discipline as the fault hook.
+//
+// All activity terms are integer popcounts accumulated exactly; the
+// single float32 rounding happens in Retire, in one fixed order, which
+// is what makes trace bytes reproducible across architectures and
+// GOMAXPROCS settings.
+type TraceSink struct {
+	// BusAct accumulates the cycle's switching activity (GPR writeback
+	// toggles via RegWrite, interconnect traffic via BusAccess) since
+	// the last retired instruction; the next Retire drains it into that
+	// instruction's sample.
+	BusAct int
+	// LastAddr is the previous bus access address — the reference for
+	// address-bus toggle counting.
+	LastAddr uint64
+	// Static is the static-draw term added to every sample, computed by
+	// the capturer from the rail voltages at Arm time.
+	Static float32
+	// Buf is the preallocated sample arena; N is the cursor. Emission
+	// past the arena end drops samples rather than growing: capture
+	// windows are sized by the caller, and a bounded arena is what
+	// keeps the armed hot path allocation-free.
+	N   int
+	Buf []float32
+}
+
+// RegWrite counts the flop toggles of a GPR writeback — the Hamming
+// distance between the dying and the incoming value.
+//
+//voltvet:hotpath
+func (s *TraceSink) RegWrite(old, next uint64) {
+	s.BusAct += bits.OnesCount64(old ^ next)
+}
+
+// BusAccess counts interconnect activity: address-bus toggles against
+// the previous access, the Hamming weight of write data driven onto
+// the bus, and a per-byte transfer cost.
+//
+//voltvet:hotpath
+func (s *TraceSink) BusAccess(addr uint64, size int, write bool, wdata uint64) {
+	act := bits.OnesCount64(addr ^ s.LastAddr)
+	s.LastAddr = addr
+	if write {
+		act += bits.OnesCount64(wdata)
+	}
+	s.BusAct += act + size
+}
+
+// Retire drains the accumulated activity into one sample — the sample
+// boundary is instruction retirement, one sample per core-clock cycle.
+//
+//voltvet:hotpath
+func (s *TraceSink) Retire() {
+	act := s.BusAct
+	s.BusAct = 0
+	v := float32(act) + s.Static
+	if s.N < len(s.Buf) {
+		s.Buf[s.N] = v
+		s.N++
+	}
+}
+
+// TraceProbe is the snapshot-composition handle of an attached trace
+// capturer, the read-only sibling of FaultInjector. The hot sample
+// path does not go through this interface — emission is direct field
+// arithmetic on the shared TraceSink — but the capturer attaches
+// itself here so its arena cursor and recorded samples ride along with
+// CPUState and therefore with soc.Snapshot, letting traced trials fork
+// from copy-on-write snapshots like glitched ones.
+//
+// An attached capturer is architecturally invisible (same PC stream,
+// same Instret, same SRAM contents, to the bit), and the armed emit
+// path must stay allocation-free — it is pinned by voltvet
+// //voltvet:hotpath markers and a dynamic AllocsPerRun gate in
+// internal/trace.
+type TraceProbe interface {
+	// CaptureState returns an opaque snapshot of the probe's internal
+	// state (arm flag, sample cursor, recorded samples); RestoreState
+	// rewinds to it and rebinds the probe's sink attachments.
+	CaptureState() any
+	RestoreState(st any)
+}
+
+// execProbed is exec with the retire tap. Faulting instructions emit
+// no sample — the trace records work the core actually committed.
+//
+//voltvet:hotpath
+func (c *CPU) execProbed(in Instr, word uint32) error {
+	err := c.exec(in, word)
+	if err == nil {
+		c.Sink.Retire()
+	}
+	return err
+}

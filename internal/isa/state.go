@@ -20,12 +20,22 @@ type CPUState struct {
 	// the injector and rewinds its internals — trigger arming, pulse
 	// position, and RNG stream included.
 	Fault *faultSnap
+	// Probe does the same for an attached trace probe: a restore
+	// rebinds the capturer and rewinds its arena cursor and recorded
+	// samples, so traced trials fork from snapshots too.
+	Probe *probeSnap
 }
 
 // faultSnap pairs the injector reference with its opaque captured state.
 type faultSnap struct {
 	inj FaultInjector
 	st  any
+}
+
+// probeSnap pairs the trace probe reference with its captured state.
+type probeSnap struct {
+	probe TraceProbe
+	st    any
 }
 
 // CaptureState returns the core's current flop state.
@@ -44,6 +54,9 @@ func (c *CPU) CaptureState() CPUState {
 	}
 	if c.Fault != nil {
 		st.Fault = &faultSnap{inj: c.Fault, st: c.Fault.CaptureState()}
+	}
+	if c.Probe != nil {
+		st.Probe = &probeSnap{probe: c.Probe, st: c.Probe.CaptureState()}
 	}
 	return st
 }
@@ -65,5 +78,14 @@ func (c *CPU) RestoreState(st CPUState) {
 		c.Fault.RestoreState(st.Fault.st)
 	} else {
 		c.Fault = nil
+	}
+	if st.Probe != nil {
+		// RestoreState rebinds the capturer's sink attachments (this
+		// core's Sink included) to match the captured arm state.
+		c.Probe = st.Probe.probe
+		c.Probe.RestoreState(st.Probe.st)
+	} else {
+		c.Probe = nil
+		c.Sink = nil
 	}
 }

@@ -97,11 +97,18 @@ func TestDeterministicImportGraph(t *testing.T) {
 // TestStepSteadyStateZeroAlloc in internal/soc: CPU.Step down through
 // SoC memory access into the cache and SRAM word paths, plus the
 // superblock dispatch fast path and the snapshot mark/restore paths
-// that sit on the per-trial critical path of the sweep runners.
+// that sit on the per-trial critical path of the sweep runners. The
+// armed power-trace emit chain (execProbed, the TraceSink taps, and
+// the register-file PeekUint64 they ride on) is exercised dynamically
+// by TestStepTraceArmedZeroAlloc in internal/trace.
 var hotpathChain = []string{
 	"(*repro/internal/isa.CPU).ExecDecoded",
 	"(*repro/internal/isa.CPU).Step",
 	"(*repro/internal/isa.CPU).exec",
+	"(*repro/internal/isa.CPU).execProbed",
+	"(*repro/internal/isa.TraceSink).BusAccess",
+	"(*repro/internal/isa.TraceSink).RegWrite",
+	"(*repro/internal/isa.TraceSink).Retire",
 	"(*repro/internal/soc.SoC).FetchDecoded",
 	"(*repro/internal/soc.SoC).Load",
 	"(*repro/internal/soc.SoC).Store",
@@ -124,6 +131,7 @@ var hotpathChain = []string{
 	"(*repro/internal/dram.Module).markRange",
 	"(*repro/internal/dram.Module).markSnapRange",
 	"(*repro/internal/dram.Module).resolveRange",
+	"(*repro/internal/sram.Array).PeekUint64",
 	"(*repro/internal/sram.Array).ReadBytesInto",
 	"(*repro/internal/sram.Array).ReadUint64",
 	"(*repro/internal/sram.Array).ReadUintN",

@@ -45,7 +45,7 @@ func Default() *Registry {
 				}
 				return &Result{
 					Text:      r.String(),
-					Artifacts: []Artifact{{Name: "figure3_way0.pbm", Data: r.PBM}},
+					Artifacts: []Artifact{{Name: "figure3_way0.pbm", Kind: "pbm", Data: r.PBM}},
 				}, nil
 			},
 		},
@@ -156,6 +156,7 @@ func Default() *Registry {
 				for q, pbm := range r.PBMs {
 					res.Artifacts = append(res.Artifacts, Artifact{
 						Name: fmt.Sprintf("figure9_quadrant_%c.pbm", 'a'+q),
+						Kind: "pbm",
 						Data: pbm,
 					})
 				}
@@ -339,11 +340,126 @@ func Default() *Registry {
 				}
 				return &Result{
 					Text:      r.String(),
-					Artifacts: []Artifact{{Name: "glitch_success_map.json", Data: blob}},
+					Artifacts: []Artifact{{Name: "glitch_success_map.json", Kind: "json", Data: blob}},
+				}, nil
+			},
+		},
+		&Experiment{
+			Name: "trace-capture", Doc: "per-cycle power-trace capture of the AES victim",
+			ArtifactKinds: []string{"text", "trace"},
+			Params:        scaParams("8", "2048", "0.25"),
+			Run: func(ctx context.Context, req Request) (*Result, error) {
+				n, window, sigma, key, err := scaArgs(req)
+				if err != nil {
+					return nil, err
+				}
+				r, err := experiments.TraceCaptureCtx(ctx, req.Seed, n, window, sigma, key)
+				if err != nil {
+					return nil, err
+				}
+				blob, err := r.Set.Artifact()
+				if err != nil {
+					return nil, err
+				}
+				return &Result{
+					Text:      r.String(),
+					Artifacts: []Artifact{{Name: "traces.vbtr", Kind: "trace", Data: blob}},
+				}, nil
+			},
+		},
+		&Experiment{
+			Name: "sca-spa", Doc: "simple power analysis: AES round structure from the averaged trace",
+			ArtifactKinds: []string{"text"},
+			Params:        scaParams("4", "2048", "0.25"),
+			Run: func(ctx context.Context, req Request) (*Result, error) {
+				n, window, sigma, key, err := scaArgs(req)
+				if err != nil {
+					return nil, err
+				}
+				r, err := experiments.SCASPACtx(ctx, req.Seed, n, window, sigma, key)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Text: r.String()}, nil
+			},
+		},
+		&Experiment{
+			Name: "sca-cpa", Doc: "correlation power analysis: full AES-128 key recovery with key-rank report",
+			ArtifactKinds: []string{"text", "json", "trace"},
+			Params:        scaParams("200", "256", "1"),
+			Run: func(ctx context.Context, req Request) (*Result, error) {
+				n, window, sigma, key, err := scaArgs(req)
+				if err != nil {
+					return nil, err
+				}
+				r, err := experiments.SCACPACtx(ctx, req.Seed, n, window, sigma, key)
+				if err != nil {
+					return nil, err
+				}
+				rank, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				traces, err := r.TraceArtifact()
+				if err != nil {
+					return nil, err
+				}
+				return &Result{
+					Text: r.String(),
+					Artifacts: []Artifact{
+						{Name: "cpa_keyrank.json", Kind: "json", Data: rank},
+						{Name: "cpa_traces.vbtr", Kind: "trace", Data: traces},
+					},
 				}, nil
 			},
 		},
 	)
+}
+
+// scaParams is the shared parameter schema of the side-channel
+// experiments; the defaults differ per entry.
+func scaParams(traces, window, sigma string) []ParamSpec {
+	return []ParamSpec{
+		{
+			Name: "traces", Kind: Uint64Kind, Default: traces,
+			Doc: "number of captured traces (one per random plaintext)",
+		},
+		{
+			Name: "samples-window", Kind: Uint64Kind, Default: window,
+			Doc: "capture arena size in samples (clips the trace)",
+		},
+		{
+			Name: "noise-sigma", Kind: FloatListKind, Default: sigma,
+			Doc: "gaussian measurement-noise sigma, single value",
+		},
+		{
+			Name: "key", Kind: HexKind, Default: experiments.SCADefaultKey,
+			Doc: "victim AES-128 key, 32 hex digits",
+		},
+	}
+}
+
+func scaArgs(req Request) (n, window int, sigma float64, key [16]byte, err error) {
+	traces, err := strconv.ParseUint(req.Params["traces"], 0, 24)
+	if err != nil {
+		return 0, 0, 0, key, fmt.Errorf("registry: parsing traces: %w", err)
+	}
+	w, err := strconv.ParseUint(req.Params["samples-window"], 0, 24)
+	if err != nil {
+		return 0, 0, 0, key, fmt.Errorf("registry: parsing samples-window: %w", err)
+	}
+	sigmas, err := ParseFloatList(req.Params["noise-sigma"])
+	if err != nil {
+		return 0, 0, 0, key, err
+	}
+	if len(sigmas) != 1 {
+		return 0, 0, 0, key, fmt.Errorf("registry: noise-sigma wants a single value, got %d", len(sigmas))
+	}
+	key, err = experiments.ParseSCAKey(req.Params["key"])
+	if err != nil {
+		return 0, 0, 0, key, err
+	}
+	return int(traces), int(w), sigmas[0], key, nil
 }
 
 func boardSpec(name string) (soc.DeviceSpec, error) {

@@ -40,6 +40,10 @@ const (
 	// Order is preserved: a sweep over "pi4,pi3" is a different campaign
 	// than "pi3,pi4".
 	StringListKind Kind = "string-list"
+	// HexKind is an even-length byte string in hexadecimal, with or
+	// without an 0x prefix, any letter case. Canonical form: lowercase,
+	// no prefix — "0x2B7E" and "2b7e" address the same cache entry.
+	HexKind Kind = "hex"
 )
 
 // ParamSpec declares one overridable parameter of an experiment.
@@ -53,10 +57,31 @@ type ParamSpec struct {
 }
 
 // Artifact is one binary output of an experiment run (a PBM bitmap, a
-// dump) alongside the rendered text report.
+// JSON summary, a packed trace set) alongside the rendered text report.
 type Artifact struct {
 	Name string
+	// Kind tags the payload format ("pbm", "json", "trace") so serving
+	// layers can pick a Content-Type without sniffing bytes. Binary
+	// kinds must survive every hop — store, fabric, HTTP — with their
+	// bytes intact; nothing may treat Data as text.
+	Kind string
 	Data []byte
+}
+
+// ArtifactContentType maps an artifact kind to the HTTP Content-Type
+// it must be served with. Unknown kinds fall back to text/plain, the
+// historical behavior for kind-less artifacts.
+func ArtifactContentType(kind string) string {
+	switch kind {
+	case "trace":
+		return "application/octet-stream"
+	case "json":
+		return "application/json"
+	case "pbm":
+		return "image/x-portable-bitmap"
+	default:
+		return "text/plain; charset=utf-8"
+	}
 }
 
 // Result is everything an experiment run produces.
@@ -174,6 +199,16 @@ func canonicalValue(ps *ParamSpec, v string) (string, error) {
 			}
 		}
 		return strings.Join(toks, ","), nil
+	case HexKind:
+		s := strings.ToLower(strings.TrimSpace(v))
+		s = strings.TrimPrefix(s, "0x")
+		if s == "" || len(s)%2 != 0 {
+			return "", fmt.Errorf("not an even-length hex string: %q", v)
+		}
+		if _, err := hex.DecodeString(s); err != nil {
+			return "", fmt.Errorf("not hex: %q", v)
+		}
+		return s, nil
 	default:
 		return "", fmt.Errorf("unknown parameter kind %q", ps.Kind)
 	}

@@ -19,6 +19,7 @@ var catalogNames = []string{
 	"ablationF-warm-reboot", "ablationG-context-switch",
 	"ablationH-puf-clone", "mcu-extension",
 	"glitchboot-check-skip", "glitchboot-verify-bypass", "glitch-search",
+	"trace-capture", "sca-spa", "sca-cpa",
 }
 
 // slowNames pins the slow flags of the pre-registry catalog.
@@ -186,5 +187,75 @@ func TestRunHonoursCancelledContext(t *testing.T) {
 	}
 	if _, err := e.Run(ctx, Request{Seed: 1, Params: resolved}); err == nil {
 		t.Fatal("Run with cancelled context succeeded")
+	}
+}
+
+// TestResolveHexKind pins the HexKind canonicalization: prefix and
+// letter-case variants of the same key bytes address the same cache
+// entry, and malformed hex is rejected.
+func TestResolveHexKind(t *testing.T) {
+	reg := Default()
+	e, _ := reg.Lookup("sca-cpa")
+	_, base, err := e.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range []map[string]string{
+		{"key": "2b7e151628aed2a6abf7158809cf4f3c"},
+		{"key": "2B7E151628AED2A6ABF7158809CF4F3C"},
+		{"key": "0x2b7e151628AED2A6abf7158809cf4f3c"},
+		{"key": " 2b7e151628aed2a6abf7158809cf4f3c "},
+	} {
+		_, canon, err := e.Resolve(raw)
+		if err != nil {
+			t.Fatalf("Resolve(%v): %v", raw, err)
+		}
+		if canon != base {
+			t.Errorf("Resolve(%v) canonical = %q, want default %q", raw, canon, base)
+		}
+	}
+	for _, bad := range []string{"", "2b7", "zz7e151628aed2a6abf7158809cf4f3c", "0x"} {
+		if _, _, err := e.Resolve(map[string]string{"key": bad}); err == nil {
+			t.Errorf("Resolve(key=%q) succeeded, want error", bad)
+		}
+	}
+	_, other, err := e.Resolve(map[string]string{"key": "000102030405060708090a0b0c0d0e0f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Error("distinct keys resolved to the same canonical string")
+	}
+}
+
+// TestRunTraceCapture executes the trace-capture experiment through the
+// registry surface with a tiny parameter set and checks the binary
+// artifact is tagged and non-trivial.
+func TestRunTraceCapture(t *testing.T) {
+	reg := Default()
+	e, _ := reg.Lookup("trace-capture")
+	resolved, _, err := e.Resolve(map[string]string{"traces": "2", "samples-window": "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), Request{Seed: 0x5EED, Params: resolved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text == "" {
+		t.Error("trace-capture: empty text")
+	}
+	if len(res.Artifacts) != 1 {
+		t.Fatalf("trace-capture: %d artifacts, want 1", len(res.Artifacts))
+	}
+	a := res.Artifacts[0]
+	if a.Name != "traces.vbtr" || a.Kind != "trace" {
+		t.Errorf("artifact = %q kind %q, want traces.vbtr kind trace", a.Name, a.Kind)
+	}
+	if len(a.Data) < 16 {
+		t.Errorf("trace artifact implausibly small: %d bytes", len(a.Data))
+	}
+	if ArtifactContentType(a.Kind) != "application/octet-stream" {
+		t.Errorf("trace content type = %q", ArtifactContentType(a.Kind))
 	}
 }

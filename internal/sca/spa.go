@@ -1,0 +1,175 @@
+package sca
+
+import "math"
+
+// SPA: simple power analysis against the victim's round structure. The
+// AES victim alternates high-activity rounds (S-box loads, writebacks,
+// bus traffic) with deliberate quiet gaps, so a smoothed trace shows
+// one activity burst per round. Peaks finds those bursts; Align finds
+// the sample lag between two captures of the same code, so traces from
+// differently-triggered captures can be brought onto one time base
+// before averaging or CPA.
+
+// Peak is one contiguous above-threshold burst in a smoothed trace.
+type Peak struct {
+	// Start/End bound the burst: samples [Start, End).
+	Start, End int
+	// Max is the burst's highest smoothed value, at sample MaxAt.
+	Max   float64
+	MaxAt int
+}
+
+// Smooth returns the centered moving average of t with window w (odd
+// widths center exactly; even widths lean one sample left). Ends are
+// averaged over the in-range portion of the window.
+func Smooth(t []float32, w int) []float64 {
+	if w < 1 {
+		w = 1
+	}
+	out := make([]float64, len(t))
+	for i := range t {
+		lo := i - w/2
+		hi := lo + w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(t) {
+			hi = len(t)
+		}
+		sum := 0.0
+		for j := lo; j < hi; j++ {
+			sum += float64(t[j])
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Peaks smooths t with window w and thresholds at min + frac*(max-min)
+// of the smoothed trace, returning the contiguous above-threshold
+// bursts in time order. frac 0.5 splits the victim's active rounds
+// from its quiet gaps with a wide margin.
+func Peaks(t []float32, w int, frac float64) []Peak {
+	if len(t) == 0 {
+		return nil
+	}
+	sm := Smooth(t, w)
+	lo, hi := sm[0], sm[0]
+	for _, v := range sm {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	thr := lo + frac*(hi-lo)
+	var peaks []Peak
+	open := false
+	for i, v := range sm {
+		switch {
+		case v >= thr && !open:
+			peaks = append(peaks, Peak{Start: i, Max: v, MaxAt: i})
+			open = true
+		case v >= thr:
+			p := &peaks[len(peaks)-1]
+			if v > p.Max {
+				p.Max, p.MaxAt = v, i
+			}
+		case open:
+			peaks[len(peaks)-1].End = i
+			open = false
+		}
+	}
+	if open {
+		peaks[len(peaks)-1].End = len(sm)
+	}
+	return peaks
+}
+
+// MergeClose coalesces peaks separated by fewer than minGap samples
+// into one. Thresholding a real trace splits a burst wherever activity
+// momentarily dips; merging by gap width recovers the macro structure
+// when (as with the AES victim's inter-round NOP gaps) true quiet
+// periods are much wider than intra-burst dips.
+func MergeClose(peaks []Peak, minGap int) []Peak {
+	if len(peaks) == 0 {
+		return nil
+	}
+	out := []Peak{peaks[0]}
+	for _, p := range peaks[1:] {
+		last := &out[len(out)-1]
+		if p.Start-last.End < minGap {
+			last.End = p.End
+			if p.Max > last.Max {
+				last.Max, last.MaxAt = p.Max, p.MaxAt
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Align returns the lag of t against ref that maximizes Pearson
+// correlation over their overlap, searching lags in [-maxLag, maxLag].
+// A positive lag means t is delayed: t[i+lag] lines up with ref[i].
+// Ties break toward the smallest |lag| (then the negative one), so two
+// identical traces always align at lag 0.
+func Align(ref, t []float32, maxLag int) (lag int, corr float64) {
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	bestLag, bestCorr := 0, math.Inf(-1)
+	for _, l := range lagOrder(maxLag) {
+		c := lagCorr(ref, t, l)
+		if c > bestCorr {
+			bestLag, bestCorr = l, c
+		}
+	}
+	return bestLag, bestCorr
+}
+
+// lagOrder enumerates 0, -1, 1, -2, 2, … so the first maximum found is
+// the smallest-|lag| one.
+func lagOrder(maxLag int) []int {
+	out := make([]int, 0, 2*maxLag+1)
+	out = append(out, 0)
+	for l := 1; l <= maxLag; l++ {
+		out = append(out, -l, l)
+	}
+	return out
+}
+
+// lagCorr computes Pearson correlation between ref[i] and t[i+lag]
+// over their overlapping range (-inf when the overlap is degenerate).
+func lagCorr(ref, t []float32, lag int) float64 {
+	lo := 0
+	if -lag > lo {
+		lo = -lag
+	}
+	hi := len(ref)
+	if len(t)-lag < hi {
+		hi = len(t) - lag
+	}
+	n := hi - lo
+	if n < 2 {
+		return math.Inf(-1)
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := lo; i < hi; i++ {
+		x := float64(ref[i])
+		y := float64(t[i+lag])
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	nf := float64(n)
+	den := (nf*sxx - sx*sx) * (nf*syy - sy*sy)
+	if den <= 0 {
+		return math.Inf(-1)
+	}
+	return (nf*sxy - sx*sy) / math.Sqrt(den)
+}

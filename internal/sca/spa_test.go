@@ -1,0 +1,117 @@
+package sca
+
+import (
+	"math"
+	"testing"
+)
+
+// burstTrace builds a trace of nb bursts of the given width and height,
+// separated by gap quiet samples on a zero baseline, starting at
+// sample gap.
+func burstTrace(nb, width, gap int, height float32) []float32 {
+	t := make([]float32, gap+nb*(width+gap))
+	for b := 0; b < nb; b++ {
+		start := gap + b*(width+gap)
+		for i := 0; i < width; i++ {
+			t[start+i] = height
+		}
+	}
+	return t
+}
+
+func TestSmooth(t *testing.T) {
+	tr := []float32{0, 0, 6, 0, 0}
+	sm := Smooth(tr, 3)
+	want := []float64{0, 2, 2, 2, 0}
+	for i := range want {
+		if math.Abs(sm[i]-want[i]) > 1e-12 {
+			t.Errorf("Smooth[%d] = %g, want %g", i, sm[i], want[i])
+		}
+	}
+	// Window 1 (and below) is the identity.
+	for _, w := range []int{1, 0, -3} {
+		sm := Smooth(tr, w)
+		for i := range tr {
+			if sm[i] != float64(tr[i]) {
+				t.Errorf("Smooth(w=%d)[%d] = %g, want identity %g", w, i, sm[i], tr[i])
+			}
+		}
+	}
+	// Ends average only the in-range window portion.
+	if sm := Smooth([]float32{4, 0}, 3); sm[0] != 2 {
+		t.Errorf("edge smooth = %g, want 2", sm[0])
+	}
+}
+
+func TestPeaksFindsBursts(t *testing.T) {
+	const nb, width, gap = 7, 10, 20
+	tr := burstTrace(nb, width, gap, 5)
+	peaks := Peaks(tr, 1, 0.5)
+	if len(peaks) != nb {
+		t.Fatalf("found %d peaks, want %d", len(peaks), nb)
+	}
+	for b, p := range peaks {
+		start := gap + b*(width+gap)
+		if p.Start != start || p.End != start+width {
+			t.Errorf("peak %d spans [%d,%d), want [%d,%d)", b, p.Start, p.End, start, start+width)
+		}
+		if p.Max != 5 {
+			t.Errorf("peak %d max = %g, want 5", b, p.Max)
+		}
+	}
+	if Peaks(nil, 3, 0.5) != nil {
+		t.Error("empty trace produced peaks")
+	}
+	// A burst running to the end of the trace still closes.
+	open := append(burstTrace(1, 4, 8, 3), 3, 3)
+	last := Peaks(open, 1, 0.5)
+	if n := len(last); n == 0 || last[n-1].End != len(open) {
+		t.Errorf("trailing burst not closed: %+v", last)
+	}
+}
+
+func TestMergeClose(t *testing.T) {
+	peaks := []Peak{
+		{Start: 10, End: 20, Max: 3, MaxAt: 12},
+		{Start: 24, End: 30, Max: 5, MaxAt: 27}, // gap 4 → merged
+		{Start: 60, End: 70, Max: 4, MaxAt: 65}, // gap 30 → separate
+	}
+	got := MergeClose(peaks, 10)
+	if len(got) != 2 {
+		t.Fatalf("merged to %d peaks, want 2", len(got))
+	}
+	if got[0].Start != 10 || got[0].End != 30 {
+		t.Errorf("merged span [%d,%d), want [10,30)", got[0].Start, got[0].End)
+	}
+	if got[0].Max != 5 || got[0].MaxAt != 27 {
+		t.Errorf("merged max %g@%d, want 5@27", got[0].Max, got[0].MaxAt)
+	}
+	if got[1] != peaks[2] {
+		t.Errorf("distant peak altered: %+v", got[1])
+	}
+	if MergeClose(nil, 10) != nil {
+		t.Error("nil peaks merged to something")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	base := burstTrace(3, 6, 12, 4)
+	// Identical traces align at lag 0 with perfect correlation.
+	lag, corr := Align(base, base, 8)
+	if lag != 0 || corr < 0.999 {
+		t.Errorf("self-align = lag %d corr %g, want 0, ~1", lag, corr)
+	}
+	// A delayed copy aligns at the delay.
+	shifted := append(make([]float32, 5), base...)
+	shifted = shifted[:len(base)]
+	lag, corr = Align(base, shifted, 8)
+	if lag != 5 || corr < 0.99 {
+		t.Errorf("shift-align = lag %d corr %g, want 5, ~1", lag, corr)
+	}
+	// An advanced copy aligns negative.
+	adv := append(append([]float32(nil), base[5:]...), make([]float32, 5)...)
+	lag, _ = Align(base, adv, 8)
+	if lag != -5 {
+		t.Errorf("advance-align = lag %d, want -5", lag)
+	}
+}

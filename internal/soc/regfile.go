@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"repro/internal/isa"
 	"repro/internal/sram"
 )
 
@@ -20,6 +21,13 @@ const (
 // to post-reboot code.
 type RegFile struct {
 	arr *sram.Array
+	// sink, when non-nil, counts the flop toggles of every GPR
+	// writeback — the writeback half of power-trace capture, tapped
+	// before the cells are overwritten so the dying value is one cheap
+	// cell peek away. Nil when no capturer is armed: the write hot path
+	// pays one nil check, the same discipline as the CPU fault hook and
+	// the SoC bus tap.
+	sink *isa.TraceSink
 }
 
 // NewRegFile wraps an SRAM array of at least regfileBytes bytes.
@@ -33,6 +41,9 @@ func NewRegFile(arr *sram.Array) *RegFile {
 // Array exposes the backing SRAM array for power-domain attachment.
 func (r *RegFile) Array() *sram.Array { return r.arr }
 
+// SetTraceSink attaches (or, with nil, detaches) the writeback tap.
+func (r *RegFile) SetTraceSink(sink *isa.TraceSink) { r.sink = sink }
+
 // ReadX implements isa.RegBacking.
 //
 //voltvet:hotpath
@@ -44,6 +55,9 @@ func (r *RegFile) ReadX(i int) uint64 {
 //
 //voltvet:hotpath
 func (r *RegFile) WriteX(i int, v uint64) {
+	if r.sink != nil {
+		r.sink.RegWrite(r.arr.PeekUint64(regfileXBase+i*8), v)
+	}
 	r.arr.WriteUint64(regfileXBase+i*8, v)
 }
 

@@ -186,6 +186,11 @@ type SoC struct {
 	// barriers counts DSB/ISB executions (the §6.1 payload requirement).
 	barriers uint64
 
+	// traceSink, when non-nil, receives every bus access's switching
+	// activity — the memory-traffic half of power-trace capture. Nil
+	// when no capturer is armed: the access hot path pays one nil check.
+	traceSink *isa.TraceSink
+
 	// mutGen counts SoC-level events that can mutate instruction memory
 	// behind the predecode cache's back: boots (ROM scratchpad, MBIST,
 	// VideoCore, payload load), orderly shutdowns, JTAG and CPU iRAM
@@ -198,6 +203,18 @@ type SoC struct {
 var _ isa.Bus = (*SoC)(nil)
 var _ isa.DecodedBus = (*SoC)(nil)
 var _ isa.SysOps = (*SoC)(nil)
+
+// SetTraceSink attaches (or, with nil, detaches) the power-trace sink
+// that observes every access reaching the SoC interconnect: data loads
+// and stores, instruction fetches that miss the predecode cache, and
+// cache-maintenance traffic. The tap is strictly read-only — it leaves
+// cache state, history buffers, and memory contents untouched — and
+// allocation-free: it sits inside the //voltvet:hotpath access choke
+// point. Predecode hits never reach the interconnect and so never
+// reach the sink; a cached i-stream burns no bus power, which is
+// exactly the sample model internal/trace documents. One sink at a
+// time: trace capture owns the slot while armed.
+func (s *SoC) SetTraceSink(sink *isa.TraceSink) { s.traceSink = sink }
 
 // New builds an SoC from its spec. All SRAM arrays are created and
 // attached to the appropriate power domains; everything starts unpowered
@@ -776,6 +793,9 @@ func (s *SoC) access(core int, addr uint64, size int, write bool, wdata uint64, 
 		return 0, fmt.Errorf("soc: core %d out of range", core)
 	}
 	c := s.Cores[core]
+	if s.traceSink != nil {
+		s.traceSink.BusAccess(addr, size, write, wdata)
+	}
 	if s.inDRAM(addr) || s.inIRAM(addr) {
 		s.updateHistoryBuffers(c, addr, ifetch)
 	}

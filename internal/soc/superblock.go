@@ -219,8 +219,13 @@ func (s *SoC) RunCoreQuantum(id int, maxInstr uint64) (uint64, error) {
 		// it drives are rail events, which the superblock soundness
 		// argument assumes happen between quanta, never inside a block.
 		// The injector detaches when its shot completes, so only the
-		// armed window pays for single-stepping.
-		if cpu.Fault != nil {
+		// armed window pays for single-stepping. An attached trace probe
+		// single-steps for the same reason: each retired instruction
+		// must emit exactly one power sample, with fetch traffic landing
+		// on the bus probe per instruction, not batched per block. Both
+		// hooks detach when disarmed, so untraced runs keep the
+		// superblock fast path.
+		if cpu.Fault != nil || cpu.Sink != nil {
 			if err := cpu.Step(); err != nil {
 				return n, err
 			}

@@ -397,6 +397,22 @@ func (a *Array) WriteUint64(off int, v uint64) {
 	a.bits[w+1] = (a.bits[w+1] &^ lowMask) | v>>(64-shift)
 }
 
+// PeekUint64 is ReadUint64 without the access bookkeeping: no power
+// check, no bounds diagnostics — a probe-side tap for observers (the
+// power-trace capturer) that must read cell contents at zero
+// architectural and near-zero runtime cost. off must be in range and
+// 8-byte aligned reads are the fast path, exactly as for ReadUint64.
+//
+//voltvet:hotpath
+func (a *Array) PeekUint64(off int) uint64 {
+	w := off >> 3
+	shift := 8 * uint(off&7)
+	if shift == 0 {
+		return a.bits[w]
+	}
+	return a.bits[w]>>shift | a.bits[w+1]<<(64-shift)
+}
+
 // ReadUint64 loads a 64-bit little-endian word from byte offset off
 // without allocating.
 //

@@ -30,6 +30,8 @@ go test -run '^$' -bench 'BenchmarkCPUStep$' -benchtime 2s ./internal/soc/ | tee
 go test -run '^$' -bench 'BenchmarkCacheAccessHit$|BenchmarkCacheAccessMiss$' -benchtime 2s ./internal/cache/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkOSWorkloadIPS$' -benchtime 2s ./internal/kernel/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkCPUStepGlitchDisarmed$' -benchtime 2s ./internal/glitch/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkCPUStepTraceDisarmed$|BenchmarkCPUStepTraceArmed$|BenchmarkTraceCapture$' -benchtime 2s ./internal/trace/ | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkCPACorrelate$' -benchtime 2s ./internal/sca/ | tee -a "$tmp"
 
 echo "==> campaign service throughput (2s)"
 go test -run '^$' -bench 'BenchmarkCampaignSubmitCached$' -benchtime 2s ./internal/api/ | tee -a "$tmp"

@@ -31,15 +31,23 @@ go test -race -count=1 -run 'TestFabric' ./internal/api/
 echo "==> glitch engine: full -race pass (triggers, faults, snapshot compose, cross-domain isolation)"
 go test -race -count=1 ./internal/glitch/
 
+echo "==> side-channel toolkit: full -race pass (trace capture, SPA, CPA)"
+go test -race -count=1 ./internal/trace/ ./internal/sca/
+
+echo "==> sca-cpa smoke (full 16-byte AES key recovery at the documented trace count)"
+go test -run 'TestSCACPARecoversKey' -count=1 ./internal/experiments/
+
 echo "==> benchmark smoke (1 iteration)"
 go test -run '^$' -bench 'ResolveDecay|PowerUpAll|FractionalHD|FractionOnes|SnapshotRestore' -benchtime 1x ./internal/sram/ ./internal/analysis/
 go test -run '^$' -bench 'CPUStep|CacheAccessHit|CacheAccessMiss|OSWorkloadIPS' -benchtime 1x ./internal/soc/ ./internal/cache/ ./internal/kernel/
 go test -run '^$' -bench 'CPUStepGlitchDisarmed' -benchtime 1x ./internal/glitch/
+go test -run '^$' -bench 'CPUStepTraceDisarmed|CPUStepTraceArmed' -benchtime 1x ./internal/trace/
 go test -run '^$' -bench 'Figure7ColdBoot|Figure8OSScenario' -benchtime 1x ./internal/experiments/
 
 echo "==> allocation-free fast-path gates"
 go test -run 'StepSteadyStateZeroAlloc' -count=1 ./internal/soc/
 go test -run 'StepGlitchDisarmedZeroAlloc' -count=1 ./internal/glitch/
+go test -run 'StepTraceArmedZeroAlloc|StepTraceDisarmedZeroAlloc' -count=1 ./internal/trace/
 go test -run 'AccessHitPathAllocFree|LineTransferAllocFree' -count=1 ./internal/cache/
 
 echo "OK"
