@@ -14,6 +14,9 @@
 //	-C dir             analyze the module containing dir (default ".")
 //	-baseline file     baseline path (default <module root>/lint.baseline)
 //	-write-baseline    rewrite the baseline to grandfather current findings
+//	-checks fams       comma-separated check families (det, map, hot, snap,
+//	                   locks, err; analyzer names also accepted; default all)
+//	-format f          output format: text (default) or json
 //	-list              print the diagnostic catalog and exit
 //	-v                 also print baselined findings
 //
@@ -21,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("C", ".", "analyze the module containing this directory")
 	baselinePath := fs.String("baseline", "", "baseline file (default <module root>/lint.baseline)")
 	writeBaseline := fs.Bool("write-baseline", false, "rewrite the baseline to grandfather current findings")
+	checks := fs.String("checks", "", "comma-separated check families to run (det, map, hot, snap, locks, err; default all)")
+	format := fs.String("format", "text", "output format: text or json")
 	list := fs.Bool("list", false, "print the diagnostic catalog and exit")
 	verbose := fs.Bool("v", false, "also print baselined findings")
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +61,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		printCatalog(stdout)
 		return 0
+	}
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		outln(stderr, "voltvet:", err)
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		outf(stderr, "voltvet: unknown -format %q (want text or json)\n", *format)
+		return 2
 	}
 
 	mod, err := lint.LoadModule(*dir)
@@ -73,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
-	diags := lint.Run(mod, cfg, lint.All())
+	diags := lint.Run(mod, cfg, analyzers)
 	diags = filterByPatterns(diags, mod.Path, patterns)
 
 	if *baselinePath == "" {
@@ -93,6 +108,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fresh, baselined := base.Filter(diags)
+	if *format == "json" {
+		writeJSON(stdout, mod.Root, diags, baselined)
+		if len(fresh) > 0 {
+			return 1
+		}
+		return 0
+	}
 	if *verbose {
 		for _, d := range baselined {
 			outf(stdout, "%s [baselined]\n", d)
@@ -110,6 +132,95 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers resolves the -checks flag: empty means the full
+// suite; otherwise a comma-separated list of family aliases (det, map,
+// hot, snap, locks, err) or exact analyzer names. "hot" covers both the
+// per-function allocation checks and the inferred-closure checks.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if spec == "" {
+		return all, nil
+	}
+	aliases := map[string][]string{
+		"det":   {"determinism"},
+		"map":   {"maporder"},
+		"hot":   {"hotpath", "hotclosure"},
+		"snap":  {"snapshot"},
+		"locks": {"locks"},
+		"err":   {"errcheck"},
+	}
+	byName := map[string]bool{}
+	for _, a := range all {
+		byName[a.Name] = true
+	}
+	want := map[string]bool{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "":
+		case aliases[tok] != nil:
+			for _, n := range aliases[tok] {
+				want[n] = true
+			}
+		case byName[tok]:
+			want[tok] = true
+		default:
+			return nil, fmt.Errorf("unknown check %q (families: det, map, hot, snap, locks, err)", tok)
+		}
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// jsonFinding is the machine-readable shape of one diagnostic. The
+// field set is a stability contract for CI consumers: id and
+// file:line:col locate the finding, suppressed distinguishes fresh
+// findings ("") from grandfathered ones ("baseline"). Findings silenced
+// by an inline voltvet:ignore never appear — they are dropped before
+// reporting.
+type jsonFinding struct {
+	ID         string `json:"id"`
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"` // module-root relative
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Package    string `json:"package"`
+	Message    string `json:"message"`
+	Suppressed string `json:"suppressed"`
+}
+
+func writeJSON(w io.Writer, root string, diags, baselined []lint.Diagnostic) {
+	isBase := map[lint.Diagnostic]bool{}
+	for _, d := range baselined {
+		isBase[d] = true
+	}
+	out := []jsonFinding{}
+	for _, d := range diags {
+		suppressed := ""
+		if isBase[d] {
+			suppressed = "baseline"
+		}
+		out = append(out, jsonFinding{
+			ID:         d.ID,
+			Analyzer:   d.Analyzer,
+			File:       strings.TrimPrefix(strings.TrimPrefix(d.Pos.Filename, root), string(filepath.Separator)),
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Package:    d.Package,
+			Message:    d.Message,
+			Suppressed: suppressed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }
 
 // filterByPatterns keeps diagnostics whose package matches any
@@ -153,6 +264,6 @@ func printCatalog(w io.Writer) {
 	}
 	outln(w, "  loader       packages that fail to type-check")
 	outln(w, "      VV-LOAD001")
-	outln(w, "  ignore       malformed //voltvet:ignore directives")
+	outln(w, "  ignore       malformed voltvet directives (ignore, nosnap, hotpath)")
 	outln(w, "      VV-IGN001")
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -108,12 +109,85 @@ func TestPatternFilter(t *testing.T) {
 	}
 }
 
+// TestChecksFilter pins the -checks family selection: the seeded
+// violation is a determinism finding, so running only the snapshot
+// family is clean, running the det family reports it, and a typoed
+// family name is a usage error, not a silent no-op.
+func TestChecksFilter(t *testing.T) {
+	dir := writeTempModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-checks", "snap,hot", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-checks=snap,hot exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-checks", "det", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-checks=det exit = %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "VV-DET001") {
+		t.Errorf("-checks=det output missing VV-DET001:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-checks", "snpa", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-checks=snpa exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown check "snpa"`) {
+		t.Errorf("stderr missing unknown-check error:\n%s", stderr.String())
+	}
+}
+
+// TestJSONFormat parses -format=json output: the seeded finding appears
+// with its stable ID, module-relative file, position, and empty
+// suppression state; after grandfathering it the same finding reports
+// suppressed="baseline" and the exit code drops to 0.
+func TestJSONFormat(t *testing.T) {
+	dir := writeTempModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-format", "json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("json run exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.ID != "VV-DET001" || f.File != filepath.Join("internal", "sram", "sram.go") ||
+		f.Line == 0 || f.Package != "tmpmod/internal/sram" || f.Suppressed != "" {
+		t.Errorf("unexpected finding shape: %+v", f)
+	}
+
+	if code := run([]string{"-C", dir, "-write-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-format", "json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined json run exit = %d, want 0", code)
+	}
+	findings = nil
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("baselined output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 || findings[0].Suppressed != "baseline" {
+		t.Errorf("baselined finding not reported as suppressed: %+v", findings)
+	}
+
+	if code := run([]string{"-C", dir, "-format", "yaml", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-format=yaml exit = %d, want 2", code)
+	}
+}
+
 func TestListCatalog(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit = %d", code)
 	}
-	for _, id := range []string{"VV-DET001", "VV-MAP001", "VV-HOT001", "VV-LCK001", "VV-ERR001", "VV-LOAD001", "VV-IGN001"} {
+	for _, id := range []string{"VV-DET001", "VV-MAP001", "VV-HOT001", "VV-HOT005", "VV-HOT006",
+		"VV-SNAP001", "VV-SNAP004", "VV-LCK001", "VV-ERR001", "VV-LOAD001", "VV-IGN001"} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Errorf("-list output missing %s", id)
 		}

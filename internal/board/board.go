@@ -21,6 +21,7 @@ import (
 
 // Board is one fully wired evaluation platform.
 type Board struct {
+	//voltvet:nosnap shared simulation clock; owned by the environment and rewound by the SoC snapshot (now/tempC)
 	Env *sim.Env
 	SoC *soc.SoC
 	// PMIC feeds every domain from the main supply input.

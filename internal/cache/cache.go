@@ -60,6 +60,7 @@ type Config struct {
 // InlineECC cache: the word XOR-folded with a parity-derived mask,
 // standing in for the undocumented data+ECC interleaving. It is an
 // involution-free bijection per word; ECCDecodeWord inverts it.
+//voltvet:hotpath
 func ECCEncodeWord(w uint32) uint32 {
 	return w ^ eccMask(w)
 }
@@ -68,11 +69,13 @@ func ECCEncodeWord(w uint32) uint32 {
 // number of times in the mask, so the XOR-fold of a stored word equals
 // the fold of the original — the mask can be re-derived from the stored
 // image directly.
+//voltvet:hotpath
 func ECCDecodeWord(stored uint32) uint32 {
 	return stored ^ eccMask(stored)
 }
 
 // eccMask derives the per-word scramble from parity folds of the word.
+//voltvet:hotpath
 func eccMask(w uint32) uint32 {
 	p := w ^ w>>16
 	p ^= p >> 8
@@ -84,6 +87,7 @@ func eccMask(w uint32) uint32 {
 }
 
 // Sets returns the number of sets implied by the geometry.
+//voltvet:hotpath
 func (c Config) Sets() int { return c.SizeBytes / c.Ways / c.LineBytes }
 
 func (c Config) validate() error {
@@ -136,8 +140,10 @@ type Cache struct {
 
 	// dataRAM[w] holds sets×LineBytes bytes for way w; the per-way split
 	// mirrors how the paper dumps and reports "WAY0"/"WAY1" images.
+	//voltvet:nosnap sram.Arrays with their own snapshot pairs, enumerated by the SoC capture (allArrays)
 	dataRAM []*sram.Array
 	// tagRAM holds one 64-bit entry per (way, set): way-major layout.
+	//voltvet:nosnap an sram.Array with its own snapshot pair, enumerated by the SoC capture (allArrays)
 	tagRAM *sram.Array
 
 	// enabled gates allocation: a disabled cache bypasses to backing
@@ -161,6 +167,7 @@ type Cache struct {
 	// is safe because each cache level owns its own scratch and every
 	// use is complete before the next backing call that could recurse
 	// into this cache.
+	//voltvet:nosnap reusable fill/writeback buffer; holds no architectural content between calls
 	scratch []byte
 
 	// contentGen counts every event that can change what a fetch through
@@ -184,9 +191,13 @@ type Cache struct {
 	// its generation and retires the memo. Derived state: it resolves to
 	// exactly what lookup would return, so it is invisible to replacement
 	// order, stats and contents.
+	//voltvet:nosnap generation-stamped way memo; the restore's gen bump retires it without touching it
 	memoTag uint64
+	//voltvet:nosnap generation-stamped way memo; the restore's gen bump retires it without touching it
 	memoGen uint64
+	//voltvet:nosnap generation-stamped way memo; the restore's gen bump retires it without touching it
 	memoSet int32
+	//voltvet:nosnap reset to empty (-1) by RestoreAux; the way memo never survives a rewind
 	memoWay int32 // -1 when empty
 
 	stats Stats
@@ -232,6 +243,7 @@ func (c *Cache) Arrays() []*sram.Array {
 }
 
 // Enabled reports whether the cache allocates.
+//voltvet:hotpath
 func (c *Cache) Enabled() bool { return c.enabled }
 
 // SetEnabled turns allocation on or off. Disabling does not flush: that
@@ -244,6 +256,7 @@ func (c *Cache) SetEnabled(on bool) {
 
 // ContentGen returns the monotonic content-generation counter. See the
 // field comment; consumers treat any change as "refetch everything".
+//voltvet:hotpath
 func (c *Cache) ContentGen() uint64 { return c.contentGen }
 
 // LockWay marks a way as non-evictable.
@@ -266,10 +279,12 @@ func (c *Cache) index(addr uint64) (tag uint64, set int, off int) {
 	return tag & tagMask, set, off
 }
 
+//voltvet:hotpath
 func (c *Cache) tagEntry(way, set int) uint64 {
 	return c.tagRAM.ReadUint64((way*c.sets + set) * 8)
 }
 
+//voltvet:hotpath
 func (c *Cache) setTagEntry(way, set int, v uint64) {
 	c.tagRAM.WriteUint64((way*c.sets+set)*8, v)
 }
@@ -289,6 +304,7 @@ func (c *Cache) lookup(tag uint64, set int) int {
 
 // victim picks the way to replace in set, honouring locks. Invalid ways
 // win first; otherwise the least recently used unlocked way.
+//voltvet:hotpath
 func (c *Cache) victim(set int) (int, error) {
 	for w := 0; w < c.cfg.Ways; w++ {
 		if c.lockedWays[w] {
@@ -339,18 +355,21 @@ func (c *Cache) TouchFetchHit(way, set int) {
 // ResidentWaySet probes, without side effects, whether addr is resident
 // and in which (way, set). The predecoded i-stream keys its entries on
 // the answer.
+//voltvet:hotpath
 func (c *Cache) ResidentWaySet(addr uint64) (way, set int, ok bool) {
 	tag, s, _ := c.index(addr)
 	w := c.lookup(tag, s)
 	return w, s, w >= 0
 }
 
+//voltvet:hotpath
 func (c *Cache) lineAddr(tag uint64, set int) uint64 {
 	return (tag*uint64(c.sets) + uint64(set)) * uint64(c.cfg.LineBytes)
 }
 
 // fill brings the line containing addr into (tag,set) and returns the
 // way. Dirty victims are written back first.
+//voltvet:hotpath
 func (c *Cache) fill(tag uint64, set int, secure bool) (int, error) {
 	w, err := c.victim(set)
 	if err != nil {
@@ -362,7 +381,7 @@ func (c *Cache) fill(tag uint64, set int, secure bool) (int, error) {
 		if c.cfg.InlineECC {
 			eccDecodeLine(c.scratch)
 		}
-		if err := c.backing.WriteLine(victimAddr, c.scratch); err != nil {
+		if err := c.backing.WriteLine(victimAddr, c.scratch); err != nil { //voltvet:ignore VV-HOT006 deliberate backing seam: the next level is an L2 cache or DRAM, decided at wiring time; the dynamic zero-alloc gate covers both
 			return 0, fmt.Errorf("cache %s: writeback of %#x: %w", c.cfg.Name, victimAddr, err)
 		}
 		c.stats.Writebacks++
@@ -370,7 +389,7 @@ func (c *Cache) fill(tag uint64, set int, secure bool) (int, error) {
 	if c.tagEntry(w, set)&tagValidBit != 0 {
 		c.stats.Evictions++
 	}
-	if err := c.backing.ReadLine(c.lineAddr(tag, set), c.scratch); err != nil {
+	if err := c.backing.ReadLine(c.lineAddr(tag, set), c.scratch); err != nil { //voltvet:ignore VV-HOT006 deliberate backing seam: the next level is an L2 cache or DRAM, decided at wiring time; the dynamic zero-alloc gate covers both
 		return 0, fmt.Errorf("cache %s: fill of %#x: %w", c.cfg.Name, c.lineAddr(tag, set), err)
 	}
 	if c.cfg.InlineECC {
@@ -502,6 +521,7 @@ func (c *Cache) accessECC(w, set, base, size int, write bool, wdata uint64) (uin
 }
 
 // eccEncodeLine scrambles a line buffer in place for InlineECC storage.
+//voltvet:hotpath
 func eccEncodeLine(buf []byte) {
 	for i := 0; i+4 <= len(buf); i += 4 {
 		word := uint32(buf[i]) | uint32(buf[i+1])<<8 | uint32(buf[i+2])<<16 | uint32(buf[i+3])<<24
@@ -511,6 +531,7 @@ func eccEncodeLine(buf []byte) {
 }
 
 // eccDecodeLine unscrambles a line buffer in place (writebacks).
+//voltvet:hotpath
 func eccDecodeLine(buf []byte) {
 	for i := 0; i+4 <= len(buf); i += 4 {
 		word := uint32(buf[i]) | uint32(buf[i+1])<<8 | uint32(buf[i+2])<<16 | uint32(buf[i+3])<<24
@@ -527,14 +548,14 @@ func (c *Cache) bypass(addr uint64, size int, write bool, wdata uint64) (uint64,
 	lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
 	off := int(addr - lineAddr)
 	buf := c.scratch
-	if err := c.backing.ReadLine(lineAddr, buf); err != nil {
+	if err := c.backing.ReadLine(lineAddr, buf); err != nil { //voltvet:ignore VV-HOT006 deliberate backing seam: the next level is an L2 cache or DRAM, decided at wiring time; the dynamic zero-alloc gate covers both
 		return 0, err
 	}
 	if write {
 		for i := 0; i < size; i++ {
 			buf[off+i] = byte(wdata >> (8 * i))
 		}
-		return 0, c.backing.WriteLine(lineAddr, buf)
+		return 0, c.backing.WriteLine(lineAddr, buf) //voltvet:ignore VV-HOT006 deliberate backing seam: the next level is an L2 cache or DRAM, decided at wiring time; the dynamic zero-alloc gate covers both
 	}
 	var v uint64
 	for i := 0; i < size; i++ {
@@ -552,6 +573,7 @@ func (c *Cache) bypass(addr uint64, size int, write bool, wdata uint64) (uint64,
 // identical: the same line is resident afterwards with the same content,
 // and collapsing eight consecutive LRU touches of one (way, set) into one
 // preserves the relative recency order that victim selection depends on.
+//voltvet:hotpath
 func (c *Cache) ReadLine(addr uint64, buf []byte) error {
 	if len(buf) == c.cfg.LineBytes && addr&uint64(c.cfg.LineBytes-1) == 0 {
 		return c.readLineFast(addr, buf)
@@ -569,10 +591,11 @@ func (c *Cache) ReadLine(addr uint64, buf []byte) error {
 	return nil
 }
 
+//voltvet:hotpath
 func (c *Cache) readLineFast(addr uint64, buf []byte) error {
 	if !c.enabled {
 		c.stats.Bypasses++
-		return c.backing.ReadLine(addr, buf)
+		return c.backing.ReadLine(addr, buf) //voltvet:ignore VV-HOT006 deliberate backing seam: the next level is an L2 cache or DRAM, decided at wiring time; the dynamic zero-alloc gate covers both
 	}
 	tag, set, _ := c.index(addr)
 	w := c.lookup(tag, set)
@@ -597,6 +620,7 @@ func (c *Cache) readLineFast(addr uint64, buf []byte) error {
 // line goes through a single allocate-and-overwrite instead of eight
 // read-modify-write Accesses; the fill-on-write-miss is kept so the
 // victim choice and writeback sequence match the word loop exactly.
+//voltvet:hotpath
 func (c *Cache) WriteLine(addr uint64, buf []byte) error {
 	if len(buf) == c.cfg.LineBytes && addr&uint64(c.cfg.LineBytes-1) == 0 {
 		return c.writeLineFast(addr, buf)
@@ -613,12 +637,13 @@ func (c *Cache) WriteLine(addr uint64, buf []byte) error {
 	return nil
 }
 
+//voltvet:hotpath
 func (c *Cache) writeLineFast(addr uint64, buf []byte) error {
 	if !c.enabled {
 		// The word loop's bypass would read-modify-write the backing
 		// line; a full-line overwrite makes the read redundant.
 		c.stats.Bypasses++
-		return c.backing.WriteLine(addr, buf)
+		return c.backing.WriteLine(addr, buf) //voltvet:ignore VV-HOT006 deliberate backing seam: the next level is an L2 cache or DRAM, decided at wiring time; the dynamic zero-alloc gate covers both
 	}
 	tag, set, _ := c.index(addr)
 	w := c.lookup(tag, set)
@@ -674,6 +699,7 @@ func (c *Cache) CleanInvalidateAll() error {
 
 // InvalidateAll clears every valid bit without writing anything back
 // (IC IALLU semantics for i-caches). Data RAM contents are untouched.
+//voltvet:hotpath
 func (c *Cache) InvalidateAll() {
 	c.contentGen++
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -688,6 +714,7 @@ func (c *Cache) InvalidateAll() {
 
 // CleanInvalidateVA cleans and invalidates the single line containing
 // addr, if present (DC CIVAC).
+//voltvet:hotpath
 func (c *Cache) CleanInvalidateVA(addr uint64) error {
 	tag, set, _ := c.index(addr)
 	w := c.lookup(tag, set)
@@ -701,7 +728,7 @@ func (c *Cache) CleanInvalidateVA(addr uint64) error {
 		if c.cfg.InlineECC {
 			eccDecodeLine(c.scratch)
 		}
-		if err := c.backing.WriteLine(c.lineAddr(tag, set), c.scratch); err != nil {
+		if err := c.backing.WriteLine(c.lineAddr(tag, set), c.scratch); err != nil { //voltvet:ignore VV-HOT006 deliberate backing seam: the next level is an L2 cache or DRAM, decided at wiring time; the dynamic zero-alloc gate covers both
 			return err
 		}
 		c.stats.Writebacks++
@@ -713,6 +740,7 @@ func (c *Cache) CleanInvalidateVA(addr uint64) error {
 // ZeroLineVA implements DC ZVA: allocate the line containing addr and
 // write zeros into its data RAM. This is the only maintenance operation
 // that modifies data RAM contents (§5.2.4) — and it is d-cache only.
+//voltvet:hotpath
 func (c *Cache) ZeroLineVA(addr uint64, secure bool) error {
 	if !c.enabled {
 		// Architecturally DC ZVA with the cache off zeroes memory
@@ -721,7 +749,7 @@ func (c *Cache) ZeroLineVA(addr uint64, secure bool) error {
 		for i := range c.scratch {
 			c.scratch[i] = 0
 		}
-		return c.backing.WriteLine(lineAddr, c.scratch)
+		return c.backing.WriteLine(lineAddr, c.scratch) //voltvet:ignore VV-HOT006 deliberate backing seam: the next level is an L2 cache or DRAM, decided at wiring time; the dynamic zero-alloc gate covers both
 	}
 	c.contentGen++
 	tag, set, _ := c.index(addr)
@@ -739,7 +767,7 @@ func (c *Cache) ZeroLineVA(addr uint64, secure bool) error {
 			if c.cfg.InlineECC {
 				eccDecodeLine(c.scratch)
 			}
-			if err := c.backing.WriteLine(c.lineAddr(e&tagMask, set), c.scratch); err != nil {
+			if err := c.backing.WriteLine(c.lineAddr(e&tagMask, set), c.scratch); err != nil { //voltvet:ignore VV-HOT006 deliberate backing seam: the next level is an L2 cache or DRAM, decided at wiring time; the dynamic zero-alloc gate covers both
 				return err
 			}
 			c.stats.Writebacks++
@@ -770,6 +798,7 @@ type LineInfo struct {
 }
 
 // Line returns the tag metadata for (way, set).
+//voltvet:hotpath
 func (c *Cache) Line(way, set int) LineInfo {
 	return ParseTagEntry(c.tagEntry(way, set), set, c.cfg)
 }
@@ -778,6 +807,7 @@ func (c *Cache) Line(way, set int) LineInfo {
 // line metadata for the given set and cache geometry — the attacker-side
 // post-processing that turns a tag dump into the *addresses* of the
 // stolen lines.
+//voltvet:hotpath
 func ParseTagEntry(e uint64, set int, cfg Config) LineInfo {
 	li := LineInfo{
 		Valid:     e&tagValidBit != 0,
@@ -795,6 +825,7 @@ func ParseTagEntry(e uint64, set int, cfg Config) LineInfo {
 // exactly as the RAMINDEX debug operation does: no hit/miss logic, no
 // valid-bit check. wordIndex counts 64-bit words from the start of the
 // way (set·wordsPerLine + wordInLine).
+//voltvet:hotpath
 func (c *Cache) RAMIndexData(way, wordIndex int) (uint64, error) {
 	if way < 0 || way >= c.cfg.Ways {
 		return 0, fmt.Errorf("cache %s: RAMINDEX way %d out of range", c.cfg.Name, way)
@@ -806,6 +837,7 @@ func (c *Cache) RAMIndexData(way, wordIndex int) (uint64, error) {
 }
 
 // RAMIndexTag reads the raw tag entry for (way, set) via the debug path.
+//voltvet:hotpath
 func (c *Cache) RAMIndexTag(way, set int) (uint64, error) {
 	if way < 0 || way >= c.cfg.Ways || set < 0 || set >= c.sets {
 		return 0, fmt.Errorf("cache %s: RAMINDEX tag (%d,%d) out of range", c.cfg.Name, way, set)
@@ -816,6 +848,7 @@ func (c *Cache) RAMIndexTag(way, set int) (uint64, error) {
 // SecureLineAt reports whether the line holding the data-RAM word at
 // wordIndex of way is a valid secure (NS=0) allocation — used by the
 // TrustZone countermeasure to veto RAMINDEX reads.
+//voltvet:hotpath
 func (c *Cache) SecureLineAt(way, wordIndex int) bool {
 	set := wordIndex * 8 / c.cfg.LineBytes
 	if set >= c.sets {

@@ -56,6 +56,7 @@ func DefaultRetentionModel() RetentionModel {
 
 // MedianRetentionAt returns the median retention time at the given
 // absolute temperature.
+//voltvet:hotpath
 func (m RetentionModel) MedianRetentionAt(kelvin float64) sim.Time {
 	if kelvin <= 0 {
 		panic("dram: non-positive absolute temperature")
@@ -67,6 +68,7 @@ func (m RetentionModel) MedianRetentionAt(kelvin float64) sim.Time {
 // Module is one DRAM device (or rank): a byte array with decay physics.
 type Module struct {
 	name  string
+	//voltvet:nosnap shared simulation clock; owned by the environment and rewound by the SoC snapshot (now/tempC)
 	env   *sim.Env
 	model RetentionModel
 	rng   *xrand.Rand
@@ -85,6 +87,7 @@ type Module struct {
 	// simulated SoCs only ever see zero-length DRAM outages and never pay
 	// for any of it; the Volt Boot flow reads only the dump region and
 	// pays for the prefix below it.
+	//voltvet:nosnap lazily drawn pure function of the module rng; the snapshot rewinds the rng and retFilled watermark, so later fills are draw-identical
 	logRetention []float32
 	// retFilled is how many leading logRetention entries have been drawn.
 	retFilled int
@@ -173,6 +176,7 @@ func (m *Module) ensureRetention() { m.ensureRetentionTo(len(m.data)) }
 // byte order, so a prefix grown across several calls is bit-identical to
 // the eager whole-module fill — deferral only skips the suffix no
 // resolution ever reads.
+//voltvet:hotpath
 func (m *Module) ensureRetentionTo(n int) {
 	if n > len(m.data) {
 		n = len(m.data)
@@ -232,6 +236,7 @@ func (m *Module) Name() string { return m.name }
 func (m *Module) Size() int { return len(m.data) }
 
 // Powered reports whether the module is receiving power (and refresh).
+//voltvet:hotpath
 func (m *Module) Powered() bool { return m.powered }
 
 // Gen returns the monotonic content-generation counter: it advances on
@@ -240,6 +245,7 @@ func (m *Module) Powered() bool { return m.powered }
 func (m *Module) Gen() uint64 { return m.gen }
 
 // groundByte is the value byte i decays toward.
+//voltvet:hotpath
 func (m *Module) groundByte(i int) byte {
 	if (i/m.model.GroundBlockBytes)%2 == 1 {
 		return 0xFF
@@ -249,6 +255,7 @@ func (m *Module) groundByte(i int) byte {
 
 // PowerOff stops power and refresh at the current simulation time and
 // temperature. Subsequent PowerOn resolves decay over the interval.
+//voltvet:hotpath
 func (m *Module) PowerOff() {
 	if !m.powered {
 		return
@@ -262,7 +269,7 @@ func (m *Module) PowerOff() {
 	m.gen++
 	m.offSince = m.env.Now()
 	m.offTempK = m.env.TemperatureK()
-	m.env.Logf("dram", "%s power off at %.1f°C", m.name, m.env.TemperatureC())
+	m.env.Logf("dram", "%s power off at %.1f°C", m.name, m.env.TemperatureC()) //voltvet:ignore VV-HOT004 diagnostic logging on a power transition, not the per-instruction steady state; campaigns attach no log
 }
 
 // PowerOn restores power, resolving which bytes decayed to ground during
@@ -278,6 +285,7 @@ func (m *Module) PowerOff() {
 // the per-byte Exp loop. The module-wide retention bounds captured at
 // construction short-circuit the common attack case (a millisecond-scale
 // cycle that no DRAM byte can lose) to O(1).
+//voltvet:hotpath
 func (m *Module) PowerOn() {
 	if m.powered {
 		return
@@ -298,7 +306,7 @@ func (m *Module) PowerOn() {
 		// even the lazy retention fill. The original per-byte loop and the
 		// minLogRet short-circuit both reach this same conclusion, since
 		// every finite lr exceeds −∞.
-		m.env.Logf("dram", "%s power on: 0/%d bytes decayed to ground", m.name, len(m.data))
+		m.env.Logf("dram", "%s power on: 0/%d bytes decayed to ground", m.name, len(m.data)) //voltvet:ignore VV-HOT004 diagnostic logging on a power transition, not the per-instruction steady state; campaigns attach no log
 		return
 	}
 	if m.retFilled == len(m.data) && float64(m.minLogRet) > logEl+band {
@@ -306,7 +314,7 @@ func (m *Module) PowerOn() {
 		// leakiest byte outlives the outage: nothing decays, no deferral
 		// needed. (Without a full fill the same conclusion is reached
 		// lazily — see resolveSlow — without forcing the fill here.)
-		m.env.Logf("dram", "%s power on: 0/%d bytes decayed to ground", m.name, len(m.data))
+		m.env.Logf("dram", "%s power on: 0/%d bytes decayed to ground", m.name, len(m.data)) //voltvet:ignore VV-HOT004 diagnostic logging on a power transition, not the per-instruction steady state; campaigns attach no log
 		return
 	}
 	// Defer the walk: record the outage's survival thresholds and mark
@@ -334,10 +342,11 @@ func (m *Module) PowerOn() {
 	}
 	m.unresolved = len(m.data)
 	m.env.Logf("dram", "%s power on after %s outage: decay resolution deferred (%d bytes)",
-		m.name, sim.Time(elapsed), len(m.data))
+		m.name, sim.Time(elapsed), len(m.data)) //voltvet:ignore VV-HOT004 diagnostic logging on a power transition, not the per-instruction steady state; campaigns attach no log
 }
 
 // dropPending releases the deferral state once every byte is materialized.
+//voltvet:hotpath
 func (m *Module) dropPending() {
 	m.resolved = nil
 	m.unresolved = 0
@@ -345,6 +354,7 @@ func (m *Module) dropPending() {
 
 // resolveAll materializes every still-unresolved byte (the eager walk the
 // deferral postponed), used before a new outage begins.
+//voltvet:hotpath
 func (m *Module) resolveAll() {
 	if m.resolved != nil {
 		m.resolveSlow(0, len(m.data))
@@ -375,6 +385,7 @@ func (m *Module) resolveRange(off, n int) {
 // module-wide retention bounds collapse the two extreme outages first —
 // a no-decay outage drops the whole deferral, a total-decay one (the
 // Volt Boot power cycle) restores ground without touching logRetention.
+//voltvet:hotpath
 func (m *Module) resolveSlow(off, n int) {
 	o := &m.outage
 	// Conservatively dirty the whole range for any armed snapshot: decay
@@ -460,8 +471,9 @@ func (m *Module) markRange(off, n int) {
 // threshold has no finite satisfying value; returning +Inf (respectively
 // NaN→+Inf) makes lr >= s false for every finite lr, matching the float64
 // comparison's outcome.
+//voltvet:hotpath
 func leastFloat32Satisfying(t float64, orEqual bool) float32 {
-	sat := func(s float32) bool {
+	sat := func(s float32) bool { //voltvet:ignore VV-HOT003 non-escaping predicate closure: the search helper only invokes it, so it stays on the stack
 		if orEqual {
 			return float64(s) >= t
 		}
@@ -484,6 +496,7 @@ func leastFloat32Satisfying(t float64, orEqual bool) float32 {
 	return s
 }
 
+//voltvet:hotpath
 func (m *Module) check(op string, off, n int) {
 	if !m.powered {
 		panic(fmt.Sprintf("dram: %s on unpowered module %s", op, m.name))
@@ -505,6 +518,7 @@ func (m *Module) Write(off int, b []byte) {
 // WriteUintN stores the low size bytes of v little-endian at offset off,
 // 1 ≤ size ≤ 8 — the allocation-free subword store the SoC uses when no
 // cache sits between the core and the module.
+//voltvet:hotpath
 func (m *Module) WriteUintN(off, size int, v uint64) {
 	m.check("WriteUintN", off, size)
 	if size < 1 || size > 8 {
@@ -520,6 +534,7 @@ func (m *Module) WriteUintN(off, size int, v uint64) {
 
 // ReadUintN loads size bytes little-endian from offset off, 1 ≤ size ≤ 8,
 // without allocating.
+//voltvet:hotpath
 func (m *Module) ReadUintN(off, size int) uint64 {
 	m.check("ReadUintN", off, size)
 	if size < 1 || size > 8 {
@@ -543,6 +558,7 @@ func (m *Module) Read(off, n int) []byte {
 }
 
 // ReadLine implements the cache.Backing contract for line fills.
+//voltvet:hotpath
 func (m *Module) ReadLine(addr uint64, buf []byte) error {
 	if !m.powered {
 		return fmt.Errorf("dram: %s is unpowered", m.name)
@@ -556,6 +572,7 @@ func (m *Module) ReadLine(addr uint64, buf []byte) error {
 }
 
 // WriteLine implements the cache.Backing contract for writebacks.
+//voltvet:hotpath
 func (m *Module) WriteLine(addr uint64, buf []byte) error {
 	if !m.powered {
 		return fmt.Errorf("dram: %s is unpowered", m.name)

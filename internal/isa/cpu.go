@@ -71,15 +71,19 @@ type PlainRegs struct {
 }
 
 // ReadX implements RegBacking.
+//voltvet:hotpath
 func (p *PlainRegs) ReadX(i int) uint64 { return p.X[i] }
 
 // WriteX implements RegBacking.
+//voltvet:hotpath
 func (p *PlainRegs) WriteX(i int, v uint64) { p.X[i] = v }
 
 // ReadV implements RegBacking.
+//voltvet:hotpath
 func (p *PlainRegs) ReadV(i int) [2]uint64 { return p.V[i] }
 
 // WriteV implements RegBacking.
+//voltvet:hotpath
 func (p *PlainRegs) WriteV(i int, v [2]uint64) { p.V[i] = v }
 
 // Flags is the NZCV condition flag set.
@@ -118,6 +122,7 @@ type CPU struct {
 	// the disarmed cost is one nil check. Probe is the matching cold
 	// half — the capturer's snapshot handle — and the two are always
 	// attached and detached together.
+	//voltvet:nosnap tap binding rebound by RestoreState from the live capturer (nil when disarmed); not recorded state
 	Sink  *TraceSink
 	Probe TraceProbe
 
@@ -163,30 +168,35 @@ func (c *CPU) Reset(entry uint64) {
 }
 
 // X reads general-purpose register i (XZR reads as zero).
+//voltvet:hotpath
 func (c *CPU) X(i int) uint64 {
 	if i == XZR {
 		return 0
 	}
-	return c.Regs.ReadX(i)
+	return c.Regs.ReadX(i) //voltvet:ignore VV-HOT006 pluggable regfile seam (PlainRegs vs the SoC-owned file); kept for probe instrumentation
 }
 
 // SetX writes general-purpose register i (writes to XZR are discarded).
+//voltvet:hotpath
 func (c *CPU) SetX(i int, v uint64) {
 	if i == XZR {
 		return
 	}
-	c.Regs.WriteX(i, v)
+	c.Regs.WriteX(i, v) //voltvet:ignore VV-HOT006 pluggable regfile seam (PlainRegs vs the SoC-owned file); kept for probe instrumentation
 }
 
 // Secure reports whether the core is in the TrustZone secure state
 // (SCR_NS == 0 and not locked out of it).
+//voltvet:hotpath
 func (c *CPU) Secure() bool { return !c.NSLocked && c.scrNS == 0 }
 
 // V reads vector register i.
-func (c *CPU) V(i int) [2]uint64 { return c.Regs.ReadV(i) }
+//voltvet:hotpath
+func (c *CPU) V(i int) [2]uint64 { return c.Regs.ReadV(i) } //voltvet:ignore VV-HOT006 pluggable regfile seam (PlainRegs vs the SoC-owned file); kept for probe instrumentation
 
 // SetV writes vector register i.
-func (c *CPU) SetV(i int, v [2]uint64) { c.Regs.WriteV(i, v) }
+//voltvet:hotpath
+func (c *CPU) SetV(i int, v [2]uint64) { c.Regs.WriteV(i, v) } //voltvet:ignore VV-HOT006 pluggable regfile seam (PlainRegs vs the SoC-owned file); kept for probe instrumentation
 
 // UndefinedError reports execution of an undecodable word — e.g. a core
 // branching into uninitialized SRAM.
@@ -199,6 +209,7 @@ func (e *UndefinedError) Error() string {
 	return fmt.Sprintf("isa: undefined instruction %#08x at PC %#x", e.Word, e.PC)
 }
 
+//voltvet:hotpath
 func (c *CPU) condHolds(cond Cond) bool {
 	f := c.Flags
 	switch cond {
@@ -223,6 +234,7 @@ func (c *CPU) condHolds(cond Cond) bool {
 	}
 }
 
+//voltvet:hotpath
 func (c *CPU) setFlagsAdd(a, b uint64) uint64 {
 	r := a + b
 	c.Flags.N = r>>63 == 1
@@ -232,6 +244,7 @@ func (c *CPU) setFlagsAdd(a, b uint64) uint64 {
 	return r
 }
 
+//voltvet:hotpath
 func (c *CPU) setFlagsSub(a, b uint64) uint64 {
 	r := a - b
 	c.Flags.N = r>>63 == 1
@@ -245,7 +258,7 @@ func (c *CPU) setFlagsSub(a, b uint64) uint64 {
 // on memory faults or undefined instructions; the core keeps its state so
 // callers can inspect the failure.
 //
-//voltvet:hotpath
+//voltvet:hotpath root
 func (c *CPU) Step() error {
 	if c.Halted {
 		return nil
@@ -254,12 +267,12 @@ func (c *CPU) Step() error {
 	var word uint32
 	if c.decBus != nil {
 		var err error
-		in, word, err = c.decBus.FetchDecoded(c.ID, c.PC)
+		in, word, err = c.decBus.FetchDecoded(c.ID, c.PC) //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 		if err != nil {
 			return fmt.Errorf("fetch at PC %#x: %w", c.PC, err)
 		}
 	} else {
-		w, err := c.BusPort.FetchInstr(c.ID, c.PC)
+		w, err := c.BusPort.FetchInstr(c.ID, c.PC) //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 		if err != nil {
 			return fmt.Errorf("fetch at PC %#x: %w", c.PC, err)
 		}
@@ -279,7 +292,7 @@ func (c *CPU) Step() error {
 //voltvet:hotpath
 func (c *CPU) ExecDecoded(in Instr, word uint32) error {
 	if c.Fault != nil {
-		if d := c.Fault.OnInstr(c, in); d.Kind != FaultNone {
+		if d := c.Fault.OnInstr(c, in); d.Kind != FaultNone { //voltvet:ignore VV-HOT006 per-instruction fault hook; a direct glitch dependency would cycle the import graph
 			return c.execFaulted(in, word, d)
 		}
 	}
@@ -330,23 +343,23 @@ func (c *CPU) exec(in Instr, word uint32) error {
 	case OpSUBSI:
 		c.SetX(in.Rd, c.setFlagsSub(c.X(in.Rn), uint64(in.Imm)))
 	case OpLDR, OpLDRW, OpLDRB:
-		v, err := c.BusPort.Load(c.ID, c.X(in.Rn)+uint64(in.Imm), accessSize(in.Op))
+		v, err := c.BusPort.Load(c.ID, c.X(in.Rn)+uint64(in.Imm), accessSize(in.Op)) //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 		if err != nil {
 			return fmt.Errorf("load at PC %#x: %w", c.PC, err)
 		}
 		c.SetX(in.Rd, v)
 	case OpSTR, OpSTRW, OpSTRB:
-		if err := c.BusPort.Store(c.ID, c.X(in.Rn)+uint64(in.Imm), accessSize(in.Op), c.X(in.Rd)); err != nil {
+		if err := c.BusPort.Store(c.ID, c.X(in.Rn)+uint64(in.Imm), accessSize(in.Op), c.X(in.Rd)); err != nil { //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 			return fmt.Errorf("store at PC %#x: %w", c.PC, err)
 		}
 	case OpVLDR:
-		v, err := c.BusPort.Load128(c.ID, c.X(in.Rn)+uint64(in.Imm))
+		v, err := c.BusPort.Load128(c.ID, c.X(in.Rn)+uint64(in.Imm)) //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 		if err != nil {
 			return fmt.Errorf("vldr at PC %#x: %w", c.PC, err)
 		}
 		c.SetV(in.Rd, v)
 	case OpVSTR:
-		if err := c.BusPort.Store128(c.ID, c.X(in.Rn)+uint64(in.Imm), c.V(in.Rd)); err != nil {
+		if err := c.BusPort.Store128(c.ID, c.X(in.Rn)+uint64(in.Imm), c.V(in.Rd)); err != nil { //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 			return fmt.Errorf("vstr at PC %#x: %w", c.PC, err)
 		}
 	case OpB:
@@ -374,7 +387,7 @@ func (c *CPU) exec(in Instr, word uint32) error {
 		c.HaltCode = in.Imm
 	case OpDSB, OpISB:
 		if c.Sys != nil {
-			c.Sys.Barrier(c.ID)
+			c.Sys.Barrier(c.ID) //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 		}
 	case OpMRS:
 		c.SetX(in.Rd, c.readSysReg(in.Sys))
@@ -383,15 +396,15 @@ func (c *CPU) exec(in Instr, word uint32) error {
 			return fmt.Errorf("msr at PC %#x: %w", c.PC, err)
 		}
 	case OpDCZVA:
-		if err := c.Sys.DCZVA(c.ID, c.X(in.Rd)); err != nil {
+		if err := c.Sys.DCZVA(c.ID, c.X(in.Rd)); err != nil { //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 			return fmt.Errorf("dc zva at PC %#x: %w", c.PC, err)
 		}
 	case OpDCCIVAC:
-		if err := c.Sys.DCCIVAC(c.ID, c.X(in.Rd)); err != nil {
+		if err := c.Sys.DCCIVAC(c.ID, c.X(in.Rd)); err != nil { //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 			return fmt.Errorf("dc civac at PC %#x: %w", c.PC, err)
 		}
 	case OpICIALLU:
-		c.Sys.ICIALLU(c.ID)
+		c.Sys.ICIALLU(c.ID) //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 	case OpVMOVI:
 		b := uint64(in.Imm)
 		rep := b | b<<8 | b<<16 | b<<24 | b<<32 | b<<40 | b<<48 | b<<56
@@ -414,6 +427,7 @@ func (c *CPU) exec(in Instr, word uint32) error {
 	return nil
 }
 
+//voltvet:hotpath
 func (c *CPU) readSysReg(id uint32) uint64 {
 	switch id {
 	case SysCurrentEL:
@@ -436,10 +450,11 @@ func (c *CPU) readSysReg(id uint32) uint64 {
 	}
 }
 
+//voltvet:hotpath
 func (c *CPU) writeSysReg(id uint32, v uint64) error {
 	switch id {
 	case SysRAMINDEX:
-		data, fault := c.Sys.RAMIndexRead(c.ID, v, c.EL)
+		data, fault := c.Sys.RAMIndexRead(c.ID, v, c.EL) //voltvet:ignore VV-HOT006 CPU-to-SoC bus seam: the ISA layer cannot import soc without an import cycle; resolves to *soc.SoC in every build
 		if fault {
 			c.ramData = 0
 			c.ramStatus = 1

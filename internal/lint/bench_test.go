@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// BenchmarkVoltvetModule measures a full voltvet run over the real
+// module — load, type-check, call-graph construction, closure
+// inference, and every analyzer — which is what scripts/check.sh pays
+// on every CI invocation. The check script enforces a 15s wall-clock
+// budget on that invocation; this benchmark is the recorded history
+// behind the budget, so a type-checking or call-graph blowup shows up
+// as a bisectable BENCH_<n>.json regression rather than a mysterious
+// CI timeout.
+func BenchmarkVoltvetModule(b *testing.B) {
+	root, _, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		mod, err := LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags := Run(mod, DefaultConfig(), All())
+		if len(diags) != 0 {
+			b.Fatalf("module not clean: %d findings", len(diags))
+		}
+	}
+}

@@ -3,11 +3,13 @@ package lint
 import "strings"
 
 // Config names the invariant model: which packages are bound by the
-// determinism contract, which form the service layer (lock hygiene
-// applies there, and deterministic packages may not import them), and
-// which marker comment tags hot-path functions. Paths are module-path
-// relative (e.g. "internal/sram"), so the same config applies to the
-// real module and to synthetic fixture modules in tests.
+// determinism contract and which form the service layer (lock hygiene
+// applies there, and deterministic packages may not import them).
+// Hot-path tagging is not configurable — it is the //voltvet:hotpath
+// directive, parsed by the shared directive grammar (directive.go).
+// Paths are module-path relative (e.g. "internal/sram"), so the same
+// config applies to the real module and to synthetic fixture modules
+// in tests.
 type Config struct {
 	// DeterministicPkgs are the module-relative paths of packages whose
 	// outputs must be bit-reproducible across runs and GOMAXPROCS
@@ -25,9 +27,6 @@ type Config struct {
 	// ExcludePkgs are module-relative paths skipped entirely (the lint
 	// package itself, whose fixtures intentionally violate everything).
 	ExcludePkgs []string
-	// HotpathMarker is the comment directive that tags a function as
-	// allocation-free hot path. Default "//voltvet:hotpath".
-	HotpathMarker string
 
 	// ModulePath is filled in by the runner from the loaded module so
 	// the Is* helpers can compare against full import paths.
@@ -54,7 +53,6 @@ func DefaultConfig() *Config {
 		},
 		DeterministicExtraImports: nil,
 		ExcludePkgs:               []string{"internal/lint"},
-		HotpathMarker:             "//voltvet:hotpath",
 	}
 }
 

@@ -83,7 +83,7 @@ func TestFixtureDiagnostics(t *testing.T) {
 	cfg := fixtureConfig()
 	diags := Run(mod, cfg, All())
 
-	for _, pkgName := range []string{"detpkg", "servpkg", "maporderpkg", "hotpathpkg", "lockpkg", "errpkg"} {
+	for _, pkgName := range []string{"detpkg", "servpkg", "maporderpkg", "hotpathpkg", "hotclosurepkg", "lockpkg", "errpkg", "snappkg"} {
 		t.Run(pkgName, func(t *testing.T) {
 			pkg := mod.Packages["fixture/"+pkgName]
 			if pkg == nil {

@@ -4,7 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
+	"sort"
 )
 
 // hotpathAnalyzer enforces the zero-allocation contract on functions
@@ -28,51 +28,269 @@ func hotpathAnalyzer() *Analyzer {
 	}
 }
 
-// HotpathFuncs returns the fully qualified names (types.Func.FullName
-// form, e.g. "repro/internal/isa.(*CPU).Step") of every function in the
-// module tagged with the hotpath marker. Exported so the agreement test
-// can pin the static annotation set against the functions the dynamic
-// zero-alloc test drives.
+// hotClosureAnalyzer turns the hot-path annotation set from a
+// hand-maintained list into an inferred property. Roots are tagged
+// //voltvet:hotpath root (the step loop, the restore path); the closure
+// is everything those roots can reach through the call graph, crossing
+// interface seams via class-hierarchy analysis. Two findings fall out:
+//
+//   - VV-HOT005: a function the hot path reaches that does not carry
+//     the //voltvet:hotpath directive. Annotate it (bringing it under
+//     the allocation checks) or, for a callee that is genuinely cold
+//     (fault/diagnostic path), silence the finding at the declaration
+//     with a voltvet:ignore comment naming the reason.
+//   - VV-HOT006: an interface-dispatch call at a hot position. Dispatch
+//     does not allocate by itself, but it blocks inlining and hides the
+//     callee from static tools — the exact regression the TraceSink
+//     devirtualization fixed by hand in PR 9. Devirtualize, or keep the
+//     seam deliberately with a voltvet:ignore and a reason.
+//
+// Unlike the allocation checks, closure traversal treats return
+// operands as hot: a tail call (`return c.access(...)`) executes on
+// every iteration, so reachability must follow it even though an
+// allocation in the same position would be tolerated as a
+// leaving-the-fast-path cost. Only panic arguments are cold for
+// reachability.
+func hotClosureAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotclosure",
+		Doc:  "inferred hot-path closure from //voltvet:hotpath root seeds",
+		IDs:  []string{"VV-HOT005", "VV-HOT006"},
+		Run:  runHotClosure,
+	}
+}
+
+// HotPath is the module's inferred hot-path structure. Positions are in
+// types.Func.FullName form (e.g. "(*repro/internal/isa.CPU).Step").
+type HotPath struct {
+	// Marked holds every function carrying the //voltvet:hotpath
+	// directive (with or without the root argument).
+	Marked map[string]token.Position
+	// Roots are the closure seeds (//voltvet:hotpath root), sorted.
+	Roots []string
+	// Closure is every function reachable from the roots through static
+	// calls and class-hierarchy-resolved interface dispatch.
+	Closure map[string]token.Position
+
+	findings []Diagnostic
+}
+
+// HotpathFuncs returns the annotated function set (marker directive
+// present), keyed by FullName. Exported so tests can pin the annotation
+// set against the dynamic zero-alloc gates.
 func HotpathFuncs(mod *Module, cfg *Config) map[string]token.Position {
-	out := map[string]token.Position{}
+	return InferHotPath(mod, cfg).Marked
+}
+
+// InferHotPath computes (once per module+config) the hot-path closure.
+func InferHotPath(mod *Module, cfg *Config) *HotPath {
+	mod.hotMu.Lock()
+	defer mod.hotMu.Unlock()
+	if mod.hotMemo == nil {
+		mod.hotMemo = map[*Config]*HotPath{}
+	}
+	if hp, ok := mod.hotMemo[cfg]; ok {
+		return hp
+	}
+	hp := inferHotPath(mod, cfg)
+	mod.hotMemo[cfg] = hp
+	return hp
+}
+
+// hotDirective returns the hotpath directive on a declaration, if any.
+// Malformed directives mark nothing (they are reported as VV-IGN001).
+func hotDirective(fd *ast.FuncDecl) (directive, bool) {
+	if fd.Doc == nil {
+		return directive{}, false
+	}
+	for _, c := range fd.Doc.List {
+		if d, ok := parseDirective(c); ok && d.kind == dirHotpath && d.malformed == "" {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+func inferHotPath(mod *Module, cfg *Config) *HotPath {
+	g := mod.CallGraph()
+	hp := &HotPath{
+		Marked:  map[string]token.Position{},
+		Closure: map[string]token.Position{},
+	}
+
+	var roots []*types.Func
+	marked := map[*types.Func]bool{}
 	for _, pkg := range mod.Sorted {
+		if cfg.IsExcluded(pkg.ImportPath) {
+			continue
+		}
 		for _, f := range pkg.Files {
 			for _, fd := range funcBodies(f) {
-				if !hasMarker(fd, cfg.marker()) {
+				d, ok := hotDirective(fd)
+				if !ok {
 					continue
 				}
-				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					out[fn.FullName()] = mod.Fset.Position(fd.Pos())
+				fn := DeclaredFunc(pkg, fd)
+				if fn == nil {
+					continue
+				}
+				marked[fn] = true
+				hp.Marked[fn.FullName()] = mod.Fset.Position(fd.Pos())
+				if d.root {
+					roots = append(roots, fn)
 				}
 			}
 		}
 	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+	for _, r := range roots {
+		hp.Roots = append(hp.Roots, r.FullName())
+	}
+
+	// Worklist BFS. Each entry remembers one caller for the diagnostic.
+	type edge struct {
+		fn  *types.Func
+		via *types.Func // nil for roots
+	}
+	var work []edge
+	inClosure := map[*types.Func]bool{}
+	for _, r := range roots {
+		work = append(work, edge{fn: r})
+	}
+	for len(work) > 0 {
+		e := work[0]
+		work = work[1:]
+		fn := e.fn
+		fi := g.FuncInfo(fn)
+		if fi == nil || inClosure[fn] {
+			continue
+		}
+		if cfg.IsExcluded(fi.Pkg.ImportPath) {
+			continue
+		}
+		inClosure[fn] = true
+		hp.Closure[fn.FullName()] = mod.Fset.Position(fi.Decl.Pos())
+
+		if !marked[fn] {
+			via := "a hot-path root"
+			if e.via != nil {
+				via = e.via.FullName()
+			}
+			hp.findings = append(hp.findings, Diagnostic{
+				ID:       "VV-HOT005",
+				Analyzer: "hotclosure",
+				Pos:      mod.Fset.Position(fi.Decl.Name.Pos()),
+				Package:  fi.Pkg.ImportPath,
+				Message: fn.Name() + " is reachable on the hot path (called from " + via +
+					") but carries no //voltvet:hotpath directive; annotate it, or voltvet:ignore VV-HOT005 here if the call is genuinely cold",
+			})
+		}
+
+		// Walk this function's hot call sites.
+		for _, hc := range hotCallSites(fi) {
+			callee := calleeFunc(fi.Pkg.Info, hc)
+			if callee == nil {
+				continue // indirect func-value call; nothing to resolve
+			}
+			sig, _ := callee.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil {
+				if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+					impls := g.Implementers(callee)
+					hp.findings = append(hp.findings, Diagnostic{
+						ID:       "VV-HOT006",
+						Analyzer: "hotclosure",
+						Pos:      mod.Fset.Position(hc.Pos()),
+						Package:  fi.Pkg.ImportPath,
+						Message: "interface dispatch on the hot path in " + fn.Name() + ": call to " +
+							callee.Name() + " resolves dynamically (" + implSummary(impls) +
+							"); devirtualize it, or keep the seam with a voltvet:ignore naming why",
+					})
+					for _, impl := range impls {
+						work = append(work, edge{fn: impl, via: fn})
+					}
+					continue
+				}
+			}
+			if g.FuncInfo(callee) != nil {
+				work = append(work, edge{fn: callee, via: fn})
+			}
+		}
+	}
+	return hp
+}
+
+func implSummary(impls []*types.Func) string {
+	switch n := len(impls); n {
+	case 0:
+		return "no in-module implementation"
+	case 1:
+		return "resolves to " + impls[0].FullName()
+	default:
+		return impls[0].FullName() + " and " + itoa(n-1) + " other implementation(s)"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// hotCallSites returns the call expressions in fi's body that execute
+// on the steady-state path: everything except panic arguments. Function
+// literal bodies are included — a closure created on the hot path is
+// conservatively assumed to run there.
+func hotCallSites(fi *FnInfo) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	var walk func(n ast.Node, cold bool)
+	walk = func(n ast.Node, cold bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.CallExpr:
+			if isBuiltinPanic(fi.Pkg.Info, n) {
+				for _, a := range n.Args {
+					walk(a, true)
+				}
+				return
+			}
+			if !cold {
+				out = append(out, n)
+			}
+			walk(n.Fun, cold)
+			for _, a := range n.Args {
+				walk(a, cold)
+			}
+			return
+		}
+		children(n, func(c ast.Node) { walk(c, cold) })
+	}
+	walk(fi.Decl.Body, false)
 	return out
 }
 
-func (c *Config) marker() string {
-	if c.HotpathMarker != "" {
-		return c.HotpathMarker
-	}
-	return "//voltvet:hotpath"
-}
-
-func hasMarker(fd *ast.FuncDecl, marker string) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if strings.TrimSpace(c.Text) == marker {
-			return true
+// runHotClosure reports the precomputed closure findings that land in
+// the current package.
+func runHotClosure(pass *Pass) {
+	hp := InferHotPath(pass.Module, pass.Cfg)
+	for _, d := range hp.findings {
+		if d.Package != pass.Pkg.ImportPath {
+			continue
 		}
+		*pass.diags = append(*pass.diags, d)
 	}
-	return false
 }
 
 func runHotpath(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		for _, fd := range funcBodies(f) {
-			if !hasMarker(fd, pass.Cfg.marker()) {
+			if _, ok := hotDirective(fd); !ok {
 				continue
 			}
 			hp := &hotpathWalker{pass: pass, info: pass.Pkg.Info, fn: fd}

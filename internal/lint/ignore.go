@@ -1,9 +1,5 @@
 package lint
 
-import "strings"
-
-const ignorePrefix = "//voltvet:ignore"
-
 // ignoreKey identifies a (file, line) an ignore directive covers.
 type ignoreKey struct {
 	file string
@@ -11,42 +7,42 @@ type ignoreKey struct {
 }
 
 // applyIgnores drops diagnostics silenced by //voltvet:ignore
-// directives. A directive covers findings with the named ID on its own
-// line (trailing comment) and on the line directly below it (comment
-// above the flagged statement). A directive without both an ID and a
-// non-empty reason suppresses nothing and is itself reported as
-// VV-IGN001, so silencing stays auditable.
+// directives and reports malformed directives of every verb. A
+// directive covers findings with the named ID on its own line (trailing
+// comment) and on the line directly below it (comment above the flagged
+// statement).
+//
+// All verbs share one grammar (directive.go): an ignore without both an
+// ID and a reason, a nosnap without a reason, a hotpath with an unknown
+// argument, or an unknown verb outright suppresses/waives/marks nothing
+// and is itself reported as VV-IGN001, so silencing stays auditable —
+// a typo fails loud instead of silently widening the contract.
 func applyIgnores(mod *Module, diags []Diagnostic) []Diagnostic {
 	ignored := map[ignoreKey]map[string]bool{}
 	var malformed []Diagnostic
 	for _, pkg := range mod.Sorted {
 		for _, f := range pkg.Files {
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
-					if !ok {
-						continue
+			for _, d := range directivesIn(f) {
+				pos := mod.Fset.Position(d.pos)
+				if d.malformed != "" {
+					malformed = append(malformed, Diagnostic{
+						ID:       "VV-IGN001",
+						Analyzer: "ignore",
+						Pos:      pos,
+						Package:  pkg.ImportPath,
+						Message:  d.malformed,
+					})
+					continue
+				}
+				if d.kind != dirIgnore {
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := ignoreKey{file: pos.Filename, line: line}
+					if ignored[k] == nil {
+						ignored[k] = map[string]bool{}
 					}
-					pos := mod.Fset.Position(c.Pos())
-					fields := strings.Fields(rest)
-					if len(fields) < 2 || !strings.HasPrefix(fields[0], "VV-") {
-						malformed = append(malformed, Diagnostic{
-							ID:       "VV-IGN001",
-							Analyzer: "ignore",
-							Pos:      pos,
-							Package:  pkg.ImportPath,
-							Message:  "malformed voltvet:ignore directive: want \"//voltvet:ignore VV-XXXNNN reason...\"",
-						})
-						continue
-					}
-					id := fields[0]
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						k := ignoreKey{file: pos.Filename, line: line}
-						if ignored[k] == nil {
-							ignored[k] = map[string]bool{}
-						}
-						ignored[k][id] = true
-					}
+					ignored[k][d.id] = true
 				}
 			}
 		}

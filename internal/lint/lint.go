@@ -59,6 +59,8 @@ func All() []*Analyzer {
 		determinismAnalyzer(),
 		mapOrderAnalyzer(),
 		hotpathAnalyzer(),
+		hotClosureAnalyzer(),
+		snapshotAnalyzer(),
 		locksAnalyzer(),
 		errcheckAnalyzer(),
 	}
@@ -70,6 +72,9 @@ func All() []*Analyzer {
 // filtering is a separate, later step (see Baseline.Filter) so callers
 // can distinguish "ignored in code" from "grandfathered".
 func Run(mod *Module, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	if cfg.ModulePath == "" {
+		cfg.ModulePath = mod.Path
+	}
 	var diags []Diagnostic
 	for _, pkg := range mod.Sorted {
 		if cfg.IsExcluded(pkg.ImportPath) {

@@ -53,6 +53,17 @@ type Module struct {
 	// deterministic (import-path) order.
 	Packages map[string]*Package
 	Sorted   []*Package
+
+	// cg caches the interprocedural call graph (see CallGraph); it
+	// depends only on the loaded packages, so every analyzer and every
+	// configuration shares one build.
+	cgOnce sync.Once
+	cg     *CallGraph
+	// hotMemo caches the inferred hot-path closure per configuration
+	// (the closure depends on ExcludePkgs), so one inference serves
+	// every package pass of a Run.
+	hotMu   sync.Mutex
+	hotMemo map[*Config]*HotPath
 }
 
 // sourceImporter is the shared stdlib importer. go/importer's source

@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// snapshotAnalyzer machine-checks the snapshot-completeness contract:
+// every type that participates in the copy-on-write fork protocol (a
+// Capture<X>/Restore<X> method pair — CaptureSnapshot/RestoreSnapshot,
+// CaptureAux/RestoreAux, CaptureState/RestoreState) must account for
+// every mutable field of its struct. A field silently missing from the
+// pair corrupts determinism across rewinds: the trial tail observes
+// leftover state from the previous trial, which only surfaces — if it
+// surfaces at all — as a golden-pin divergence far from the cause.
+//
+// A mutable field is accounted for when it is
+//
+//   - covered: referenced by the capture closure (the Capture method
+//     plus everything it statically calls) and written by the restore
+//     closure — plain stores, copy destinations, and pointer-receiver
+//     method calls (a.rng.SetState) all count as restore writes;
+//   - a generation counter: never captured, and the restore closure's
+//     only writes to it are ++/-- bumps (the documented monotonic
+//     bumped-never-restored convention that keeps stale memos from
+//     validating across a rewind); or
+//   - waived in place with a voltvet:nosnap //-comment naming a reason
+//     on the field declaration (derived state that rebuilds, topology
+//     owned by another layer's snapshot, and so on).
+//
+// Mutability is interprocedural evidence, not a type property: a field
+// is mutable when some module function outside the pair's closures —
+// and outside any constructor returning the type, whose stores
+// initialize a value no snapshot can predate — stores to it, takes its
+// address, or invokes a pointer-receiver method on it.
+//
+// VV-SNAP001 flags a mutable field with no coverage at all, VV-SNAP002
+// capture-without-restore, VV-SNAP003 restore-without-capture (both
+// asymmetries let a rewound trial diverge from the captured instant),
+// and VV-SNAP004 a stale waiver on a field that needs none.
+func snapshotAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "snapshot",
+		Doc:  "snapshot completeness for Capture*/Restore* pairs",
+		IDs:  []string{"VV-SNAP001", "VV-SNAP002", "VV-SNAP003", "VV-SNAP004"},
+		Run:  runSnapshot,
+	}
+}
+
+// snapPair is one Capture<X>/Restore<X> method pair on a struct type.
+type snapPair struct {
+	suffix  string
+	capture *types.Func
+	restore *types.Func
+}
+
+// snapField is the computed coverage verdict input for one struct field.
+type snapField struct {
+	obj *types.Var
+	pos token.Pos
+	// waived is true when the field declaration carries a well-formed
+	// voltvet:nosnap directive.
+	waived bool
+	// mutable: some function outside the pair closures and constructors
+	// writes the field.
+	mutable bool
+	// capRef: the capture closure mentions the field (read or write).
+	capRef bool
+	// restWrites: how the restore closure writes the field (0 = never).
+	restWrites writeKind
+}
+
+// verdict returns the diagnostic ID the field earns, or "" when the
+// field satisfies the contract. The logic is deliberately a pure
+// function of the computed bits so the mutation test in snapshot_test
+// can flip them and prove each misconfiguration is caught.
+func (f snapField) verdict() string {
+	if f.waived {
+		if !f.mutable || (f.capRef && f.restWrites != 0) {
+			return "VV-SNAP004"
+		}
+		return ""
+	}
+	if !f.mutable {
+		return ""
+	}
+	switch {
+	case f.capRef && f.restWrites != 0:
+		return "" // covered
+	case f.capRef:
+		return "VV-SNAP002"
+	case f.restWrites == writeIncDec:
+		return "" // generation counter: bumped, never restored
+	case f.restWrites != 0:
+		return "VV-SNAP003"
+	default:
+		return "VV-SNAP001"
+	}
+}
+
+// snapshotType is the full coverage computation for one type.
+type snapshotType struct {
+	named  *types.Named
+	pairs  []snapPair
+	fields []snapField
+}
+
+// pairNames renders "CaptureSnapshot/RestoreSnapshot" (joined with +
+// when a type has several pairs).
+func (t *snapshotType) pairNames() string {
+	var parts []string
+	for _, p := range t.pairs {
+		parts = append(parts, "Capture"+p.suffix+"/Restore"+p.suffix)
+	}
+	return strings.Join(parts, "+")
+}
+
+func runSnapshot(pass *Pass) {
+	for _, st := range snapshotTypes(pass.Module, pass.Pkg) {
+		for _, f := range st.fields {
+			id := f.verdict()
+			if id == "" {
+				continue
+			}
+			var msg string
+			switch id {
+			case "VV-SNAP001":
+				msg = "mutable field " + st.named.Obj().Name() + "." + f.obj.Name() +
+					" has no snapshot coverage: not referenced by " + st.pairNames() +
+					"; capture and restore it, or waive it in place (voltvet:nosnap reason, as a //-comment on the field)"
+			case "VV-SNAP002":
+				msg = "field " + st.named.Obj().Name() + "." + f.obj.Name() +
+					" is captured but never restored by " + st.pairNames() +
+					"; a rewound trial would keep the aborted trial's value"
+			case "VV-SNAP003":
+				msg = "field " + st.named.Obj().Name() + "." + f.obj.Name() +
+					" is written by the restore closure of " + st.pairNames() +
+					" but the capture closure never reads it; the restore invents state the capture did not record"
+			case "VV-SNAP004":
+				msg = "stale voltvet:nosnap waiver on " + st.named.Obj().Name() + "." + f.obj.Name() +
+					": the field is already satisfied by " + st.pairNames() + "; remove the waiver"
+			}
+			pass.Reportf("snapshot", id, f.pos, "%s", msg)
+		}
+	}
+}
+
+// snapshotTypes computes coverage for every paired struct type declared
+// in pkg. Exported to the package's tests: the mutation test recomputes
+// these on the real module and flips coverage bits field by field.
+func snapshotTypes(mod *Module, pkg *Package) []*snapshotType {
+	g := mod.CallGraph()
+
+	// Collect Capture*/Restore* methods on named struct types of pkg.
+	type half struct{ capture, restore *types.Func }
+	byType := map[*types.Named]map[string]*half{}
+	var order []*types.Named
+	for _, f := range pkg.Files {
+		for _, fd := range funcBodies(f) {
+			if fd.Recv == nil {
+				continue
+			}
+			name := fd.Name.Name
+			var suffix string
+			var isCapture bool
+			if s, ok := strings.CutPrefix(name, "Capture"); ok {
+				suffix, isCapture = s, true
+			} else if s, ok := strings.CutPrefix(name, "Restore"); ok {
+				suffix = s
+			} else {
+				continue
+			}
+			fn := DeclaredFunc(pkg, fd)
+			if fn == nil {
+				continue
+			}
+			named := receiverNamed(fn)
+			if named == nil {
+				continue
+			}
+			if _, ok := named.Underlying().(*types.Struct); !ok {
+				continue
+			}
+			if byType[named] == nil {
+				byType[named] = map[string]*half{}
+				order = append(order, named)
+			}
+			h := byType[named][suffix]
+			if h == nil {
+				h = &half{}
+				byType[named][suffix] = h
+			}
+			if isCapture {
+				h.capture = fn
+			} else {
+				h.restore = fn
+			}
+		}
+	}
+
+	var out []*snapshotType
+	for _, named := range order {
+		var pairs []snapPair
+		var suffixes []string
+		for s := range byType[named] {
+			suffixes = append(suffixes, s)
+		}
+		sort.Strings(suffixes)
+		for _, s := range suffixes {
+			h := byType[named][s]
+			if h.capture != nil && h.restore != nil {
+				pairs = append(pairs, snapPair{suffix: s, capture: h.capture, restore: h.restore})
+			}
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		out = append(out, computeSnapshotType(g, pkg, named, pairs))
+	}
+	return out
+}
+
+// receiverNamed returns the named type a method's receiver is declared
+// on, dereferencing a pointer receiver.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func computeSnapshotType(g *CallGraph, pkg *Package, named *types.Named, pairs []snapPair) *snapshotType {
+	st := &snapshotType{named: named, pairs: pairs}
+	var capRoots, restRoots []*types.Func
+	for _, p := range pairs {
+		capRoots = append(capRoots, p.capture)
+		restRoots = append(restRoots, p.restore)
+	}
+	capClosure := g.Closure(capRoots...)
+	restClosure := g.Closure(restRoots...)
+
+	strukt := named.Underlying().(*types.Struct)
+	fieldDecl := structFieldDecls(pkg, named)
+	for i := 0; i < strukt.NumFields(); i++ {
+		fv := strukt.Field(i)
+		f := snapField{obj: fv, pos: fv.Pos()}
+		if decl := fieldDecl[fv.Pos()]; decl != nil {
+			if _, ok := fieldWaiver(decl); ok {
+				f.waived = true
+			}
+		}
+		for fn, fi := range g.fns {
+			r, w := fi.reads[fv], fi.writes[fv]
+			if r == false && w == 0 {
+				continue
+			}
+			if capClosure[fn] {
+				f.capRef = true
+			}
+			if restClosure[fn] {
+				f.restWrites |= fi.writes[fv]
+			}
+			if w != 0 && !capClosure[fn] && !restClosure[fn] && !isCtorOf(fi, named) {
+				f.mutable = true
+			}
+		}
+		st.fields = append(st.fields, f)
+	}
+	return st
+}
+
+func isCtorOf(fi *FnInfo, named *types.Named) bool {
+	for _, n := range fi.ctorOf {
+		if n == named {
+			return true
+		}
+	}
+	return false
+}
+
+// structFieldDecls maps each field object's position to its ast.Field
+// in the type's declaration, so waivers can be looked up and findings
+// anchored. Keyed by position because a multi-name field declaration
+// ("a, b int") defines several objects on one ast.Field.
+func structFieldDecls(pkg *Package, named *types.Named) map[token.Pos]*ast.Field {
+	out := map[token.Pos]*ast.Field{}
+	obj := named.Obj()
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if pkg.Info.Defs[ts.Name] != obj {
+				return false
+			}
+			stype, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return false
+			}
+			for _, field := range stype.Fields.List {
+				for _, name := range field.Names {
+					out[name.Pos()] = field
+				}
+				if len(field.Names) == 0 {
+					// Embedded field: the implicit field object sits at the
+					// embedded type name's position.
+					t := field.Type
+					if se, ok := t.(*ast.StarExpr); ok {
+						t = se.X
+					}
+					out[t.Pos()] = field
+				}
+			}
+			return false
+		})
+	}
+	return out
+}

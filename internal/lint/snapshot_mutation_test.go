@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestSnapshotMutationCatchesFieldRemoval proves the snapshot contract
+// has teeth on the real module, not just on fixtures: for every covered
+// mutable field of every real Capture*/Restore* pair, simulate deleting
+// the field from one side of the pair by flipping the computed coverage
+// bit and assert the verdict turns into a finding. If an engine change
+// ever makes a verdict lenient enough that removing a field from a real
+// CaptureSnapshot goes unflagged, this test names the field.
+func TestSnapshotMutationCatchesFieldRemoval(t *testing.T) {
+	mod := loadRepoModule(t)
+	cfg := DefaultConfig()
+	cfg.ModulePath = mod.Path
+
+	covered := 0
+	var pairs []string
+	for _, pkg := range mod.Sorted {
+		if cfg.IsExcluded(pkg.ImportPath) {
+			continue
+		}
+		for _, st := range snapshotTypes(mod, pkg) {
+			pairs = append(pairs, st.named.Obj().Name()+" ("+st.pairNames()+")")
+			for _, f := range st.fields {
+				name := st.named.Obj().Name() + "." + f.obj.Name()
+				if f.waived || !f.mutable {
+					continue
+				}
+				if got := f.verdict(); got != "" {
+					t.Errorf("%s: module is supposed to be clean but verdict is %s", name, got)
+					continue
+				}
+				if !(f.capRef && f.restWrites != 0) {
+					continue // generation counter: nothing to remove from the pair
+				}
+				covered++
+
+				// Remove the field from the Restore side: a captured field
+				// that is never written back keeps the aborted trial's value.
+				m := f
+				m.restWrites = 0
+				if got := m.verdict(); got != "VV-SNAP002" {
+					t.Errorf("%s: dropping the restore write yields %q, want VV-SNAP002", name, got)
+				}
+
+				// Remove the field from the Capture side. When the restore
+				// writes are purely ++/-- the mutant is indistinguishable
+				// from the legal generation-counter convention, so only
+				// plain-store restores must be caught.
+				m = f
+				m.capRef = false
+				if m.restWrites != writeIncDec {
+					if got := m.verdict(); got != "VV-SNAP003" {
+						t.Errorf("%s: dropping the capture reference yields %q, want VV-SNAP003", name, got)
+					}
+				}
+
+				// Remove it from both sides at once.
+				m = f
+				m.capRef = false
+				m.restWrites = 0
+				if got := m.verdict(); got != "VV-SNAP001" {
+					t.Errorf("%s: dropping both sides yields %q, want VV-SNAP001", name, got)
+				}
+			}
+		}
+	}
+	sort.Strings(pairs)
+	if len(pairs) == 0 {
+		t.Fatal("no Capture*/Restore* pairs found in the module; snapshot discovery is broken")
+	}
+	// The sweep that introduced the check found well over a dozen covered
+	// fields across sram/cache/dram/soc/power snapshots; a steep drop
+	// means discovery or coverage computation regressed, not the module.
+	if covered < 15 {
+		t.Errorf("only %d covered mutable fields exercised across pairs %v; expected at least 15", covered, pairs)
+	}
+}

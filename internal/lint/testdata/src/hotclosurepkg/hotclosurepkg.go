@@ -1,0 +1,55 @@
+// Package hotclosurepkg seeds hot-path closure violations: a
+// //voltvet:hotpath root whose call graph reaches an unannotated helper
+// (VV-HOT005), crosses an interface seam (VV-HOT006 at the call site,
+// VV-HOT005 at the unannotated implementation CHA drags in), and passes
+// through shapes that must stay clean — an annotated callee, a
+// panic-argument call (cold for reachability), and a tail call.
+package hotclosurepkg
+
+// sink is the dispatch seam Step crosses on every iteration.
+type sink interface {
+	Put(x uint64)
+}
+
+// Accum is the only in-module implementation of sink.
+type Accum struct{ total uint64 }
+
+// Put is reached through the seam but never annotated.
+func (a *Accum) Put(x uint64) { // want "VV-HOT005"
+	a.total += x
+}
+
+// Step is the closure seed: everything it reaches must carry the
+// directive.
+//
+//voltvet:hotpath root
+func Step(s sink, n uint64) uint64 {
+	if n == 0 {
+		panic(describe(n)) // cold: describe is only reached as a panic argument
+	}
+	v := mix(n)
+	s.Put(v) // want "VV-HOT006"
+	return scale(v)
+}
+
+// mix is hot but unannotated — the core VV-HOT005 case.
+func mix(n uint64) uint64 { // want "VV-HOT005"
+	return n*6364136223846793005 + 1442695040888963407
+}
+
+// scale is a tail call: return operands are hot for reachability, so
+// the closure follows it; the annotation keeps it clean.
+//
+//voltvet:hotpath
+func scale(n uint64) uint64 {
+	return n >> 3
+}
+
+// describe only runs while dying; it must stay out of the closure even
+// though it allocates freely.
+func describe(n uint64) string {
+	if n > 0 {
+		return "step(nonzero)"
+	}
+	return "step(0)"
+}

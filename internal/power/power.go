@@ -63,11 +63,13 @@ type Load interface {
 // takes over when the regulator output collapses.
 type Domain struct {
 	name    string
+	//voltvet:nosnap shared simulation clock; owned by the environment and rewound by the SoC snapshot (now/tempC)
 	env     *sim.Env
 	nominal float64
 	// suppliesCores marks domains that also power CPU cores; these
 	// experience the disconnect current surge (§6).
 	suppliesCores bool
+	//voltvet:nosnap rail fan-out wiring assembled at board build; each load restores its own electrical state
 	loads         []Load
 	sources       []Source
 	volts         float64
@@ -108,12 +110,14 @@ func (d *Domain) sourcesUpExcept(skip Source) bool {
 func (d *Domain) Name() string { return d.name }
 
 // NominalVolts returns the domain's nominal operating voltage.
+//voltvet:hotpath
 func (d *Domain) NominalVolts() float64 { return d.nominal }
 
 // SuppliesCores reports whether CPU cores draw from this domain.
 func (d *Domain) SuppliesCores() bool { return d.suppliesCores }
 
 // Volts returns the instantaneous rail voltage.
+//voltvet:hotpath
 func (d *Domain) Volts() float64 { return d.volts }
 
 // Attach registers a load (an SRAM array, a register file) on the domain
@@ -165,23 +169,25 @@ func (d *Domain) RemoveSource(s Source) {
 // Reresolve recomputes the rail voltage from the currently offered source
 // voltages and pushes it to every load. Call after any source changes
 // state.
+//voltvet:hotpath
 func (d *Domain) Reresolve() {
 	best := 0.0
 	for _, s := range d.sources {
-		if v := s.OfferedVolts(); v > best {
+		if v := s.OfferedVolts(); v > best { //voltvet:ignore VV-HOT006 supply seam: a domain is fed by a bench supply or a PMIC channel, decided at wiring time
 			best = v
 		}
 	}
 	if best != d.volts {
-		d.env.Logf("power", "domain %s rail %.2fV -> %.2fV", d.name, d.volts, best)
+		d.env.Logf("power", "domain %s rail %.2fV -> %.2fV", d.name, d.volts, best) //voltvet:ignore VV-HOT004 diagnostic logging on a rail transition, not the per-instruction steady state; campaigns attach no log
 	}
 	d.setVolts(best)
 }
 
+//voltvet:hotpath
 func (d *Domain) setVolts(v float64) {
 	d.volts = v
 	for _, l := range d.loads {
-		l.SetRail(v)
+		l.SetRail(v) //voltvet:ignore VV-HOT006 rail fan-out to the sram/dram/cache loads; the load set is topology data, not code
 	}
 }
 
@@ -201,17 +207,19 @@ func (d *Domain) Droop(sagVolts float64, duration sim.Time) {
 // steps instructions inside the pulse and closes it with PulseEnd.
 // Loads see the falling edge at once, so SRAM decay bookkeeping on the
 // glitched domain covers exactly the pulse window.
+//voltvet:hotpath
 func (d *Domain) PulseDown(sagVolts float64) {
 	if sagVolts < 0 {
 		sagVolts = 0
 	}
-	d.env.Logf("power", "domain %s glitch pulse to %.2fV", d.name, sagVolts)
+	d.env.Logf("power", "domain %s glitch pulse to %.2fV", d.name, sagVolts) //voltvet:ignore VV-HOT004 diagnostic logging on a rail transition, not the per-instruction steady state; campaigns attach no log
 	d.setVolts(sagVolts)
 }
 
 // PulseEnd closes a glitch pulse opened by PulseDown: the clock advances
 // by the pulse width and the rail re-resolves to whatever its sources
 // offer, pushing the rising edge to every load.
+//voltvet:hotpath
 func (d *Domain) PulseEnd(width sim.Time) {
 	d.env.Advance(width)
 	d.Reresolve()
@@ -231,6 +239,7 @@ type Regulator struct {
 }
 
 // OfferedVolts implements Source.
+//voltvet:hotpath
 func (r *Regulator) OfferedVolts() float64 {
 	if r.enabled && r.pmic.inputPresent {
 		return r.volts
@@ -258,9 +267,12 @@ func (r *Regulator) SetEnabled(on bool) {
 // fed from one input supply (battery or USB).
 type PMIC struct {
 	name         string
+	//voltvet:nosnap shared simulation clock; owned by the environment and rewound by the SoC snapshot (now/tempC)
 	env          *sim.Env
 	inputPresent bool
+	//voltvet:nosnap restored element-wise through the channel pointers; the slice itself is wiring
 	channels     []*Regulator
+	//voltvet:nosnap channel-to-domain wiring built at board assembly; never changes afterwards
 	domains      map[*Regulator]*Domain
 }
 
@@ -407,6 +419,7 @@ func NewBenchSupply(env *sim.Env, name string, volts, maxAmps float64) *BenchSup
 }
 
 // OfferedVolts implements Source.
+//voltvet:hotpath
 func (b *BenchSupply) OfferedVolts() float64 {
 	if b.attached {
 		return b.volts

@@ -48,6 +48,7 @@ func (t Time) String() string {
 }
 
 // CelsiusToKelvin converts a temperature in degrees Celsius to Kelvin.
+//voltvet:hotpath
 func CelsiusToKelvin(c float64) float64 { return c + 273.15 }
 
 // Env is the shared simulation environment: the clock and the ambient
@@ -76,10 +77,12 @@ func NewQuietEnv() *Env {
 }
 
 // Now returns the current simulation time.
+//voltvet:hotpath
 func (e *Env) Now() Time { return e.now }
 
 // Advance moves the clock forward by d. It panics on negative durations:
 // simulated time never runs backwards.
+//voltvet:hotpath
 func (e *Env) Advance(d Time) {
 	if d < 0 {
 		panic("sim: Advance with negative duration")
@@ -99,9 +102,11 @@ func (e *Env) Rewind(now Time, tempC float64) {
 }
 
 // TemperatureC returns the ambient temperature in degrees Celsius.
+//voltvet:hotpath
 func (e *Env) TemperatureC() float64 { return e.tempC }
 
 // TemperatureK returns the ambient temperature in Kelvin.
+//voltvet:hotpath
 func (e *Env) TemperatureK() float64 { return CelsiusToKelvin(e.tempC) }
 
 // SetTemperatureC sets the ambient temperature. The change is logged; the
@@ -129,11 +134,12 @@ func (e *Env) SetLog(l *EventLog) { e.log = l }
 // is attached the call returns before any formatting or event allocation
 // happens; callers assembling expensive arguments should additionally
 // gate on LogEnabled.
+//voltvet:hotpath
 func (e *Env) Logf(subsystem, format string, args ...any) {
 	if e.log == nil {
 		return
 	}
-	e.log.Add(e.now, subsystem, fmt.Sprintf(format, args...))
+	e.log.Add(e.now, subsystem, fmt.Sprintf(format, args...)) //voltvet:ignore VV-HOT001 log formatting sits behind the nil-log fast path; campaigns attach no log
 }
 
 // Event is one timestamped entry in the scenario log.
@@ -157,6 +163,7 @@ type EventLog struct {
 func NewEventLog() *EventLog { return &EventLog{} }
 
 // Add appends an event.
+//voltvet:hotpath
 func (l *EventLog) Add(at Time, subsystem, message string) {
 	l.events = append(l.events, Event{At: at, Subsystem: subsystem, Message: message})
 }

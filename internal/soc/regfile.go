@@ -62,12 +62,14 @@ func (r *RegFile) WriteX(i int, v uint64) {
 }
 
 // ReadV implements isa.RegBacking.
+//voltvet:hotpath
 func (r *RegFile) ReadV(i int) [2]uint64 {
 	base := regfileVBase + i*16
 	return [2]uint64{r.arr.ReadUint64(base), r.arr.ReadUint64(base + 8)}
 }
 
 // WriteV implements isa.RegBacking.
+//voltvet:hotpath
 func (r *RegFile) WriteV(i int, v [2]uint64) {
 	base := regfileVBase + i*16
 	r.arr.WriteUint64(base, v[0])

@@ -162,10 +162,12 @@ type SoC struct {
 	Spec DeviceSpec
 	Opts Options
 
+	//voltvet:nosnap restored element-wise through the core pointers (CPU state, lastFetch); the slice itself is wiring
 	Cores []*Core
 	// L2 is the shared second-level cache.
 	L2 *cache.Cache
 	// IRAM is the on-chip RAM (nil unless the spec has one).
+	//voltvet:nosnap an sram.Array with its own snapshot pair, enumerated by allArrays
 	IRAM *sram.Array
 	// DRAM is main memory.
 	DRAM *dram.Module
@@ -174,6 +176,7 @@ type SoC struct {
 	// exists for Figure 2 completeness.
 	CoreDom, MemDom, IODom *power.Domain
 
+	//voltvet:nosnap boot regenerates it from the device seed and image install precedes capture; content is invariant across a trial tail
 	rom []byte
 
 	seed      uint64
@@ -189,6 +192,7 @@ type SoC struct {
 	// traceSink, when non-nil, receives every bus access's switching
 	// activity — the memory-traffic half of power-trace capture. Nil
 	// when no capturer is armed: the access hot path pays one nil check.
+	//voltvet:nosnap tap binding owned by the armed trace.Capturer, which snapshots its own capture state
 	traceSink *isa.TraceSink
 
 	// mutGen counts SoC-level events that can mutate instruction memory
@@ -312,6 +316,7 @@ type dramLoad struct {
 
 func (d *dramLoad) Name() string { return d.mod.Name() }
 
+//voltvet:hotpath
 func (d *dramLoad) SetRail(v float64) {
 	if v >= d.minVolts {
 		d.mod.PowerOn()
@@ -329,6 +334,7 @@ type railWatcher struct {
 
 func (r *railWatcher) Name() string { return r.name }
 
+//voltvet:hotpath
 func (r *railWatcher) SetRail(float64) { *r.gen++ }
 
 // Powered reports whether the core domain is up.
@@ -597,13 +603,16 @@ func (s *SoC) OrderlyShutdown() {
 
 // --- address routing -----------------------------------------------------
 
+//voltvet:hotpath
 func (s *SoC) inDRAM(addr uint64) bool { return addr < uint64(s.Spec.DRAMBytes) }
 
+//voltvet:hotpath
 func (s *SoC) inIRAM(addr uint64) bool {
 	return s.IRAM != nil && addr >= s.Spec.IRAMBase &&
 		addr < s.Spec.IRAMBase+uint64(s.Spec.IRAMBytes)
 }
 
+//voltvet:hotpath
 func (s *SoC) inROM(addr uint64) bool {
 	return addr >= ROMBase && addr < ROMBase+uint64(len(s.rom))
 }
@@ -618,6 +627,7 @@ func (s *SoC) writeDRAMDirect(addr uint64, w uint32) error {
 
 // FetchInstr implements isa.Bus: instruction fetches go through the
 // core's L1I for cacheable memory.
+//voltvet:hotpath
 func (s *SoC) FetchInstr(core int, addr uint64) (uint32, error) {
 	v, err := s.access(core, addr, 4, false, 0, true)
 	return uint32(v), err
@@ -769,6 +779,7 @@ func (s *SoC) Store(core int, addr uint64, size int, v uint64) error {
 }
 
 // Load128 implements isa.Bus.
+//voltvet:hotpath
 func (s *SoC) Load128(core int, addr uint64) ([2]uint64, error) {
 	lo, err := s.access(core, addr, 8, false, 0, false)
 	if err != nil {
@@ -779,6 +790,7 @@ func (s *SoC) Load128(core int, addr uint64) ([2]uint64, error) {
 }
 
 // Store128 implements isa.Bus.
+//voltvet:hotpath
 func (s *SoC) Store128(core int, addr uint64, v [2]uint64) error {
 	if _, err := s.access(core, addr, 8, true, v[0], false); err != nil {
 		return err
@@ -882,6 +894,7 @@ func (s *SoC) updateHistoryBuffers(c *Core, addr uint64, ifetch bool) {
 // --- isa.SysOps ----------------------------------------------------------
 
 // DCZVA implements isa.SysOps.
+//voltvet:hotpath
 func (s *SoC) DCZVA(core int, addr uint64) error {
 	if !s.inDRAM(addr) {
 		return fmt.Errorf("soc: DC ZVA outside cacheable memory at %#x", addr)
@@ -891,6 +904,7 @@ func (s *SoC) DCZVA(core int, addr uint64) error {
 }
 
 // DCCIVAC implements isa.SysOps.
+//voltvet:hotpath
 func (s *SoC) DCCIVAC(core int, addr uint64) error {
 	if !s.inDRAM(addr) {
 		return fmt.Errorf("soc: DC CIVAC outside cacheable memory at %#x", addr)
@@ -899,12 +913,14 @@ func (s *SoC) DCCIVAC(core int, addr uint64) error {
 }
 
 // ICIALLU implements isa.SysOps.
+//voltvet:hotpath
 func (s *SoC) ICIALLU(core int) {
 	s.Cores[core].L1I.InvalidateAll()
 }
 
 // Barrier implements isa.SysOps (DSB/ISB). The interpreter is in-order;
 // the count documents that payloads issue the barriers §6.1 requires.
+//voltvet:hotpath
 func (s *SoC) Barrier(core int) { s.barriers++ }
 
 // BarrierCount returns the number of barriers executed so far.
@@ -914,6 +930,7 @@ func (s *SoC) BarrierCount() uint64 { return s.barriers }
 // cache-internal RAMs (§2.1, §6.1). Requires EL3; with the TrustZone
 // countermeasure, valid secure lines are unreadable from the non-secure
 // state.
+//voltvet:hotpath
 func (s *SoC) RAMIndexRead(core int, req uint64, el int) (uint64, bool) {
 	if el < 3 {
 		return 0, true
@@ -961,7 +978,7 @@ func (s *SoC) RAMIndexRead(core int, req uint64, el int) (uint64, bool) {
 		return v, false
 	}
 	if s.Opts.TrustZone && target.SecureLineAt(way, word) && !c.CPU.Secure() {
-		s.Env.Logf("tz", "RAMINDEX to secure line denied (core %d, way %d, word %d)", core, way, word)
+		s.Env.Logf("tz", "RAMINDEX to secure line denied (core %d, way %d, word %d)", core, way, word) //voltvet:ignore VV-HOT004 diagnostic logging on a TrustZone denial, not the steady state; campaigns attach no log
 		return 0, true
 	}
 	v, err := target.RAMIndexData(way, word)

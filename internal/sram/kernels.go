@@ -40,6 +40,7 @@ const cellHashGamma = 0x9e3779b97f4a7c15
 // survives if either the held voltage was at or above its personal DRV,
 // or the unpowered interval was shorter than its personal retention time
 // at the excursion temperature.
+//voltvet:hotpath
 func (a *Array) resolveDecay() {
 	if a.scalarKernels {
 		a.resolveDecayScalar()
@@ -49,6 +50,7 @@ func (a *Array) resolveDecay() {
 }
 
 // powerUpAll samples a fresh power-up fingerprint for every cell.
+//voltvet:hotpath
 func (a *Array) powerUpAll() {
 	if a.scalarKernels {
 		a.powerUpAllScalar()
@@ -60,6 +62,7 @@ func (a *Array) powerUpAll() {
 // logDecayThreshold returns the survival threshold in log-retention
 // space: a cell survives on time iff elapsed < median·exp(logRet), i.e.
 // logRet > ln(elapsed/median). One Log call serves the whole array.
+//voltvet:hotpath
 func (a *Array) logDecayThreshold(elapsed float64) float64 {
 	if elapsed <= 0 {
 		return math.Inf(-1) // everything survives a zero gap
@@ -75,6 +78,7 @@ func (a *Array) logDecayThreshold(elapsed float64) float64 {
 // ihNormal's value is an exact function of: every partial sum in ihNormal
 // is an integer below 2⁵³, so float64(fieldSum16(h)) reproduces ihNormal's
 // internal sum bit-exactly.
+//voltvet:hotpath
 func fieldSum16(h uint64) int {
 	return int(h&0xFFFF) + int(h>>16&0xFFFF) + int(h>>32&0xFFFF) + int(h>>48)
 }
@@ -84,6 +88,7 @@ const maxFieldSum = 262140
 
 // maxSumWhere returns the largest s in [0, maxFieldSum] satisfying pred,
 // or −1 when none does. pred must be downward closed (true on a prefix).
+//voltvet:hotpath
 func maxSumWhere(pred func(int) bool) int {
 	if !pred(0) {
 		return -1
@@ -102,6 +107,7 @@ func maxSumWhere(pred func(int) bool) int {
 
 // minIntWhere returns the smallest m in [0, hi] satisfying pred, or
 // hi+1 when none does. pred must be upward closed.
+//voltvet:hotpath
 func minIntWhere(hi int, pred func(int) bool) int {
 	if !pred(hi) {
 		return hi + 1
@@ -119,6 +125,7 @@ func minIntWhere(hi int, pred func(int) bool) int {
 }
 
 // minSumWhere is minIntWhere over the field-sum domain.
+//voltvet:hotpath
 func minSumWhere(pred func(int) bool) int { return minIntWhere(maxFieldSum, pred) }
 
 // biasedThreshold precomputes the integer gate equivalent to the scalar
@@ -126,6 +133,7 @@ func minSumWhere(pred func(int) bool) int { return minIntWhere(maxFieldSum, pred
 // the division by 2²⁴ is exact for every 24-bit value, so the predicate
 // is monotone in the field and the binary search (evaluating the exact
 // scalar expression) yields a bit-identical integer compare.
+//voltvet:hotpath
 func biasedThreshold(neutral float64) int {
 	return minIntWhere(1<<24-1, func(m int) bool {
 		return float64(m)/float64(1<<24) >= neutral
@@ -158,6 +166,7 @@ type biasSampler struct {
 	thrInt uint64
 }
 
+//voltvet:hotpath
 func (a *Array) newBiasSampler() biasSampler {
 	s := biasSampler{rng: a.rng, biasedMin: biasedThreshold(a.model.NeutralFraction)}
 	noise := a.model.BiasNoise
@@ -201,6 +210,7 @@ func (s *biasSampler) sample(h3 uint64) bool {
 // with no cross-iteration dependency and no rng draws. The result is a
 // function of only (cellState, ig, biasedMin), all fixed for an array's
 // lifetime, which is what lets mode2Memo cache it.
+//voltvet:hotpath
 func mode2PhaseA(cellState, ig uint64, biasedMin int) (biasedMask, prefBits uint64) {
 	igk := ig
 	for k := uint(0); k < 64; k++ {
@@ -222,6 +232,7 @@ func mode2PhaseA(cellState, ig uint64, biasedMin int) (biasedMask, prefBits uint
 // invalidates; repeated power events (every rail bounce during board
 // construction and boot, plus the attack's power cycle) skip the Mix64
 // hashing entirely and pay only phase B's draws.
+//voltvet:hotpath
 func (a *Array) mode2Memo(biasedMin int) (biased, pref []uint64) {
 	if a.m2Biased == nil {
 		nw := len(a.bits)
@@ -249,6 +260,7 @@ func (a *Array) mode2Memo(biasedMin int) (biased, pref []uint64) {
 // cell — exactly the stream the scalar reference consumes — and every
 // per-cell predicate is the same integer compare the generic kernels
 // use, so the result is bit-identical.
+//voltvet:hotpath
 func mode2Batch64(rng *xrand.Rand, biasedMask, prefBits, thrInt uint64) uint64 {
 	var flipMask, coinMask uint64
 	for k := uint(0); k < 64; k++ {
@@ -275,6 +287,7 @@ func mode2Batch64(rng *xrand.Rand, biasedMask, prefBits, thrInt uint64) uint64 {
 // integer compares per surviving cell — zero float work. When a model
 // carries a negative sigma (monotonicity flips) the kernel falls back to
 // evaluating the float gates per cell, still bit-identically.
+//voltvet:hotpath
 func (a *Array) resolveDecayWords() {
 	elapsed := float64(a.env.Now() - a.belowSince)
 	if elapsed <= 0 {
@@ -303,7 +316,7 @@ func (a *Array) resolveDecayWords() {
 	intGates := drvSigma >= 0 && retSigma >= 0
 	drvSumMax, retSumMin := -1, maxFieldSum+1
 	if intGates {
-		drvSumMax = maxSumWhere(func(sum int) bool {
+		drvSumMax = maxSumWhere(func(sum int) bool { //voltvet:ignore VV-HOT003 non-escaping predicate closure: the search helper only invokes it, so it stays on the stack
 			// Exactly the scalar DRV expression, evaluated at this sum.
 			drv := nomDRV + drvSigma*((float64(sum)-131070.0)/37837.2)
 			if drv < 0.05 {
@@ -311,7 +324,7 @@ func (a *Array) resolveDecayWords() {
 			}
 			return held >= drv
 		})
-		retSumMin = minSumWhere(func(sum int) bool {
+		retSumMin = minSumWhere(func(sum int) bool { //voltvet:ignore VV-HOT003 non-escaping predicate closure: the search helper only invokes it, so it stays on the stack
 			return retSigma*((float64(sum)-131070.0)/37837.2) > logThreshold
 		})
 		if drvSumMax >= maxFieldSum || retSumMin <= 0 {
@@ -348,7 +361,7 @@ func (a *Array) resolveDecayWords() {
 		}
 		lost = a.n
 		a.env.Logf("sram", "%s: %d/%d cells decayed over %s at %.2fV held",
-			a.name, lost, a.n, sim.Time(elapsed), a.heldVolts)
+			a.name, lost, a.n, sim.Time(elapsed), a.heldVolts) //voltvet:ignore VV-HOT004 diagnostic logging on a power/decay event, not the per-instruction steady state; campaigns attach no log
 		return
 	}
 	for w := range a.bits {
@@ -420,7 +433,7 @@ func (a *Array) resolveDecayWords() {
 	}
 	if lost > 0 {
 		a.env.Logf("sram", "%s: %d/%d cells decayed over %s at %.2fV held",
-			a.name, lost, a.n, sim.Time(elapsed), a.heldVolts)
+			a.name, lost, a.n, sim.Time(elapsed), a.heldVolts) //voltvet:ignore VV-HOT004 diagnostic logging on a power/decay event, not the per-instruction steady state; campaigns attach no log
 	}
 }
 
@@ -428,6 +441,7 @@ func (a *Array) resolveDecayWords() {
 // powers up, so no survival hashes are needed at all: the kernel jumps
 // straight to each cell's third hash (bias/preference) and assembles
 // whole storage words.
+//voltvet:hotpath
 func (a *Array) powerUpAllWords() {
 	var (
 		sampler   = a.newBiasSampler()
@@ -449,7 +463,7 @@ func (a *Array) powerUpAllWords() {
 		for w := range a.bits {
 			a.bits[w] = mode2Batch64(rng, biased[w], pref[w], thrInt)
 		}
-		a.env.Logf("sram", "%s: power-up into fingerprint state (%d bits)", a.name, a.n)
+		a.env.Logf("sram", "%s: power-up into fingerprint state (%d bits)", a.name, a.n) //voltvet:ignore VV-HOT004 diagnostic logging on a power/decay event, not the per-instruction steady state; campaigns attach no log
 		return
 	}
 	for w := range a.bits {
@@ -493,7 +507,7 @@ func (a *Array) powerUpAllWords() {
 			a.bits[w] = (a.bits[w] &^ mask) | newBits
 		}
 	}
-	a.env.Logf("sram", "%s: power-up into fingerprint state (%d bits)", a.name, a.n)
+	a.env.Logf("sram", "%s: power-up into fingerprint state (%d bits)", a.name, a.n) //voltvet:ignore VV-HOT004 diagnostic logging on a power/decay event, not the per-instruction steady state; campaigns attach no log
 }
 
 // ---------------------------------------------------------------------------
@@ -501,6 +515,7 @@ func (a *Array) powerUpAllWords() {
 
 // resolveDecayScalar is the original per-bit decay kernel, kept as the
 // reference the word kernels are differentially tested against.
+//voltvet:hotpath
 func (a *Array) resolveDecayScalar() {
 	elapsed := float64(a.env.Now() - a.belowSince)
 	logThreshold := a.logDecayThreshold(elapsed)
@@ -518,21 +533,23 @@ func (a *Array) resolveDecayScalar() {
 	}
 	if lost > 0 {
 		a.env.Logf("sram", "%s: %d/%d cells decayed over %s at %.2fV held",
-			a.name, lost, a.n, sim.Time(elapsed), a.heldVolts)
+			a.name, lost, a.n, sim.Time(elapsed), a.heldVolts) //voltvet:ignore VV-HOT004 diagnostic logging on a power/decay event, not the per-instruction steady state; campaigns attach no log
 	}
 }
 
 // powerUpAllScalar is the original per-bit fingerprint kernel.
+//voltvet:hotpath
 func (a *Array) powerUpAllScalar() {
 	for i := 0; i < a.n; i++ {
 		_, _, biased, preferred := a.cellStatics(i)
 		a.powerUpCellWith(i, biased, preferred)
 	}
-	a.env.Logf("sram", "%s: power-up into fingerprint state (%d bits)", a.name, a.n)
+	a.env.Logf("sram", "%s: power-up into fingerprint state (%d bits)", a.name, a.n) //voltvet:ignore VV-HOT004 diagnostic logging on a power/decay event, not the per-instruction steady state; campaigns attach no log
 }
 
 // powerUpCellWith samples the power-up value for cell i from its bias,
 // unless long-term imprinting (see imprint.go) decides it first.
+//voltvet:hotpath
 func (a *Array) powerUpCellWith(i int, biased, preferred bool) {
 	if v, decided := a.imprintPowerUp(i); decided {
 		a.setBit(i, v)

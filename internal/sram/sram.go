@@ -95,6 +95,7 @@ func DefaultRetentionModel() RetentionModel {
 
 // MedianRetentionAt returns the median intrinsic retention time at the
 // given temperature in Kelvin.
+//voltvet:hotpath
 func (m RetentionModel) MedianRetentionAt(kelvin float64) sim.Time {
 	if kelvin <= 0 {
 		panic("sram: non-positive absolute temperature")
@@ -114,6 +115,7 @@ func (m RetentionModel) RetentionThreshold() float64 {
 // different sizes.
 type Array struct {
 	name  string
+	//voltvet:nosnap shared simulation clock; owned by the environment and rewound by the SoC snapshot (now/tempC)
 	env   *sim.Env
 	model RetentionModel
 	// rng drives the irreproducible noise (metastable power-up cells);
@@ -168,7 +170,9 @@ type Array struct {
 	// on the first batched power event and immutable afterwards, so every
 	// later power-up or full-decay resample pays only the rng draws.
 	// Derived state, not physics.
+	//voltvet:nosnap lazily built pure function of cellSeed; immutable once built (see mode2PhaseA)
 	m2Biased []uint64
+	//voltvet:nosnap lazily built pure function of cellSeed; immutable once built (see mode2PhaseA)
 	m2Pref   []uint64
 	// scalarKernels forces the per-bit reference kernels instead of the
 	// word-vectorized ones. Both produce bit-identical state and consume
@@ -200,6 +204,7 @@ func NewArray(env *sim.Env, name string, n int, model RetentionModel, seed uint6
 
 // ihNormal converts a 64-bit hash into an approximately standard normal
 // variate via the Irwin–Hall sum of its four 16-bit fields.
+//voltvet:hotpath
 func ihNormal(h uint64) float64 {
 	sum := float64(h&0xFFFF) + float64(h>>16&0xFFFF) + float64(h>>32&0xFFFF) + float64(h>>48)
 	// mean 2·65535, stddev √(4·(65536²−1)/12) ≈ 37837.2
@@ -207,6 +212,7 @@ func ihNormal(h uint64) float64 {
 }
 
 // cellStatics derives cell i's silicon-lottery properties from its hash.
+//voltvet:hotpath
 func (a *Array) cellStatics(i int) (drv, logRetention float64, biased, preferred bool) {
 	st := a.cellSeed ^ uint64(i)*0x9e3779b97f4a7c15
 	h1 := xrand.SplitMix64(&st)
@@ -238,6 +244,7 @@ func (a *Array) RailVolts() float64 { return a.railVolts }
 
 // Powered reports whether the rail is above the population retention
 // threshold (enough for every cell).
+//voltvet:hotpath
 func (a *Array) Powered() bool {
 	return a.railVolts >= a.retThreshold
 }
@@ -246,6 +253,7 @@ func (a *Array) Powered() bool {
 // simulation time. Crossing below the retention threshold starts the
 // decay clock; crossing back above resolves per-cell survival against
 // the lowest voltage seen during the excursion.
+//voltvet:hotpath
 func (a *Array) SetRail(volts float64) {
 	if volts == a.railVolts && (a.everPowered || volts == 0) {
 		return
@@ -283,6 +291,7 @@ func (a *Array) SetRail(volts float64) {
 	}
 }
 
+//voltvet:hotpath
 func (a *Array) setBit(i int, v bool) {
 	if v {
 		a.bits[i>>6] |= 1 << (uint(i) & 63)
@@ -295,6 +304,7 @@ func (a *Array) bit(i int) bool {
 	return a.bits[i>>6]>>(uint(i)&63)&1 == 1
 }
 
+//voltvet:hotpath
 func (a *Array) checkAccess(op string) {
 	if !a.Powered() {
 		panic(fmt.Sprintf("sram: %s on unpowered array %s (rail %.2fV)", op, a.name, a.railVolts))
@@ -319,6 +329,7 @@ func (a *Array) ReadBit(i int) bool {
 // storeByte stores value v into byte slot j of the packed words. Byte j
 // of the array occupies bits [8j, 8j+8) which sit inside packed word j>>3
 // at shift 8·(j&7) — so byte access is O(1).
+//voltvet:hotpath
 func (a *Array) storeByte(j int, v byte) {
 	shift := 8 * uint(j&7)
 	w := &a.bits[j>>3]
@@ -328,6 +339,7 @@ func (a *Array) storeByte(j int, v byte) {
 // WriteBytes stores b starting at byte offset off. Spans that cover full
 // 64-bit words are stored word-at-a-time; only the unaligned head and
 // tail go through the byte path.
+//voltvet:hotpath
 func (a *Array) WriteBytes(off int, b []byte) {
 	a.checkAccess("WriteBytes")
 	if off < 0 || (off+len(b))*8 > a.n {
@@ -534,6 +546,7 @@ func (a *Array) Fill(v byte) {
 // resolution) that can change the array’s contents. A matching stamp
 // guarantees the content a consumer cached from this array is still
 // exactly what the array holds.
+//voltvet:hotpath
 func (a *Array) Gen() uint64 { return a.gen }
 
 // Snapshot returns the full content of the array as bytes. It is the
@@ -551,7 +564,7 @@ func (a *Array) Snapshot() []byte {
 // loops that fingerprint an array per trial can reuse one buffer instead
 // of allocating a fresh image each time.
 //
-//voltvet:hotpath
+//voltvet:hotpath root
 func (a *Array) SnapshotInto(dst []byte) {
 	a.ReadBytesInto(0, dst)
 }

@@ -59,10 +59,14 @@ const (
 // implements isa.TraceProbe so capture state composes into snapshots.
 // Arm attaches the sink at all three tap points; Disarm detaches it.
 type Capturer struct {
+	//voltvet:nosnap attach-time wiring rebound by RestoreState; not recorded state
 	soc  *soc.SoC
+	//voltvet:nosnap attach-time wiring rebound by RestoreState; not recorded state
 	cpu  *isa.CPU
+	//voltvet:nosnap attach-time wiring rebound by RestoreState; not recorded state
 	regs *soc.RegFile
 	// coreDom/memDom are the rails the static-draw term reads at Arm.
+	//voltvet:nosnap rail bindings read at Arm; attach-time wiring, not trial state
 	coreDom, memDom *power.Domain
 
 	armed bool

@@ -33,6 +33,9 @@ go test -run '^$' -bench 'BenchmarkCPUStepGlitchDisarmed$' -benchtime 2s ./inter
 go test -run '^$' -bench 'BenchmarkCPUStepTraceDisarmed$|BenchmarkCPUStepTraceArmed$|BenchmarkTraceCapture$' -benchtime 2s ./internal/trace/ | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkCPACorrelate$' -benchtime 2s ./internal/sca/ | tee -a "$tmp"
 
+echo "==> voltvet whole-module static analysis (1 iteration; seconds-scale)"
+go test -run '^$' -bench 'BenchmarkVoltvetModule$' -benchtime 1x ./internal/lint/ | tee -a "$tmp"
+
 echo "==> campaign service throughput (2s)"
 go test -run '^$' -bench 'BenchmarkCampaignSubmitCached$' -benchtime 2s ./internal/api/ | tee -a "$tmp"
 

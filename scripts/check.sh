@@ -9,8 +9,17 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> voltvet ./... (determinism / hot-path / lock / error invariants)"
-go run ./cmd/voltvet ./...
+echo "==> voltvet ./... (determinism / hot-path closure / snapshot / lock / error invariants; 15s budget)"
+# Name every family explicitly so a family rename (or a typo that drops
+# one) fails the gate instead of silently narrowing it.
+vv_start=$(date +%s)
+go run ./cmd/voltvet -checks det,map,hot,snap,locks,err ./...
+vv_elapsed=$(( $(date +%s) - vv_start ))
+echo "    voltvet finished in ${vv_elapsed}s"
+if [ "$vv_elapsed" -gt 15 ]; then
+	echo "error: voltvet took ${vv_elapsed}s, over its 15s CI budget; see BenchmarkVoltvetModule" >&2
+	exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
